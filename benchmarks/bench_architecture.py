@@ -1,0 +1,24 @@
+"""E3 — Fig. 1: the three-tier architecture end to end.
+
+Reproduction criterion (behavioural — Fig. 1 is a diagram): sensed data
+crosses all three tiers; the sensor tier is multi-hop 802.15.4 and slower
+per-frame than the 802.11 mesh tier; delivery to the Internet host is
+high.
+"""
+
+from repro.experiments.architecture import run_architecture
+
+
+def test_three_tier_architecture(once):
+    result = once(run_architecture)
+    print("\n" + result.format_table())
+    assert result.delivery_ratio > 0.9
+    assert result.mean_sensor_hops >= 1.0
+    assert result.mean_mesh_hops >= 1.0
+    # 802.15.4 at 250 kb/s vs 802.11 at 11 Mb/s: per-hop airtime differs
+    # by ~40x, so sensor-tier latency per hop must dominate.
+    sensor_per_hop = result.mean_sensor_latency / result.mean_sensor_hops
+    mesh_per_hop = result.mean_mesh_latency / result.mean_mesh_hops
+    assert sensor_per_hop > mesh_per_hop
+    # The wired segment contributes its fixed latency on top.
+    assert result.mean_end_to_end_latency > result.mean_sensor_latency

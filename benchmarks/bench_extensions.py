@@ -1,0 +1,104 @@
+"""E12/E13 — the paper's §4.3/§4.4 "key issues", implemented and measured.
+
+The paper defers QoS load balancing (§4.3) and sleep-scheduling topology
+control (§4.4) to future work while arguing both are necessary; this
+benchmark quantifies the implemented versions:
+
+* **load balancing** — under a §4.3-style regional traffic surge, the
+  load-aware selection must shrink the gateway load imbalance without
+  hurting delivery;
+* **sleep scheduling** — GAF-style duty cycling must cut idle-network
+  energy roughly in proportion to the duty cycle while keeping the
+  coordinator backbone connected to the gateways.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.mlr import MLR
+from repro.core.qos import LoadBalancedMLR
+from repro.core.spr import SPR
+from repro.core.topology_control import SleepScheduler
+from repro.sim.engine import Simulator
+from repro.sim.mobility import FeasiblePlaces, GatewaySchedule
+from repro.sim.network import build_sensor_network, grid_deployment
+from repro.sim.radio import IEEE802154, Channel
+from repro.sim.trace import MetricsCollector
+
+
+def _surge_run(cls, **kw):
+    sensors = grid_deployment(6, 6, spacing=10.0)
+    places = FeasiblePlaces.from_mapping({"L": (-10.0, 25.0), "R": (60.0, 25.0)})
+    net = build_sensor_network(
+        sensors, np.array([places.position("L"), places.position("R")]), comm_range=14.5
+    )
+    g0, g1 = net.gateway_ids
+    schedule = GatewaySchedule(places=places, rounds=[{g0: "L", g1: "R"}] * 3)
+    sim = Simulator(seed=9)
+    ch = Channel(sim, net, IEEE802154.ideal(), metrics=MetricsCollector())
+    proto = cls(sim, net, ch, schedule, **kw)
+    hot = [s for s in net.sensor_ids if net.positions[s][0] <= 20.0]
+    for r in range(3):
+        sim.run(until=r * 10.0)
+        proto.start_round(r)
+        for i, s in enumerate(net.sensor_ids):
+            for k in range(5 if s in hot else 1):
+                sim.schedule(1.0 + 0.5 * k + i * 1e-3, proto.send_data, s)
+    sim.run()
+    by_gw = {}
+    for rec in ch.metrics.deliveries:
+        by_gw[rec.destination] = by_gw.get(rec.destination, 0) + 1
+    return by_gw, ch.metrics.delivery_ratio
+
+
+def test_load_balancing_under_surge(once):
+    def run_both():
+        plain, dr_plain = _surge_run(MLR)
+        balanced, dr_lb = _surge_run(LoadBalancedMLR, load_weight=3.0)
+        return plain, dr_plain, balanced, dr_lb
+
+    plain, dr_plain, balanced, dr_lb = once(run_both)
+    imbalance = lambda d: max(d.values()) - min(d.values())
+    print("\n" + format_table(
+        ["variant", "gw loads", "imbalance", "delivery"],
+        [
+            ["MLR", sorted(plain.values()), imbalance(plain), round(dr_plain, 3)],
+            ["LoadBalancedMLR", sorted(balanced.values()), imbalance(balanced), round(dr_lb, 3)],
+        ],
+        title="§4.3 — gateway load under a regional traffic surge",
+    ))
+    assert imbalance(balanced) < imbalance(plain)
+    assert dr_lb > 0.95 and dr_plain > 0.95
+
+
+def test_sleep_scheduling_saves_energy(once):
+    def run(duty_cycled: bool):
+        rng = np.random.default_rng(3)
+        sensors = rng.uniform(0, 60, size=(120, 2))
+        net = build_sensor_network(sensors, np.array([[30.0, 70.0]]), comm_range=30.0)
+        sim = Simulator(seed=4)
+        ch = Channel(sim, net, IEEE802154.ideal(), metrics=MetricsCollector())
+        spr = SPR(sim, net, ch)
+        senders = net.sensor_ids
+        if duty_cycled:
+            sched = SleepScheduler(net)
+            sched.apply_epoch()
+            assert sched.coordinator_backbone_connected()
+            senders = sorted(sched.coordinators.values())
+        for i, s in enumerate(senders[:20]):
+            sim.schedule(0.1 + i * 0.01, spr.send_data, s)
+        sim.run()
+        total = sum(net.nodes[s].energy.spent for s in net.sensor_ids)
+        duty = SleepScheduler(net).duty_cycle() if not duty_cycled else None
+        return total, ch.metrics.delivery_ratio
+
+    def run_both():
+        return run(False), run(True)
+
+    (e_all, dr_all), (e_duty, dr_duty) = once(run_both)
+    print(f"\n§4.4 — network energy for 20 reports: always-on {e_all*1e3:.2f} mJ, "
+          f"duty-cycled {e_duty*1e3:.2f} mJ ({1 - e_duty/e_all:.0%} saved); "
+          f"delivery {dr_all:.2f} / {dr_duty:.2f}")
+    assert dr_duty == 1.0
+    # Sleepers receive nothing, so flood/overhearing energy collapses.
+    assert e_duty < 0.6 * e_all

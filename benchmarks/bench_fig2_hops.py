@@ -1,0 +1,21 @@
+"""E1 — Fig. 2: hop counts with one sink vs three gateways.
+
+Reproduction criterion: *exact* — the protocols must discover precisely
+the hop counts printed in the paper (2/7/6/9 single-sink, 1/1/2/1 with
+the published gateway assignment S1→G1, S2→G2, S3→G3, S4→G2).
+"""
+
+from repro.experiments.fig2_hops import PAPER_MULTI_GATEWAY, PAPER_SINGLE_SINK, run_fig2
+
+
+def test_fig2_hop_counts(once):
+    result = once(run_fig2)
+    print("\n" + result.format_table())
+    assert result.single_sink_hops == PAPER_SINGLE_SINK
+    for sensor, (hops, gateway) in PAPER_MULTI_GATEWAY.items():
+        assert result.multi_gateway_hops[sensor] == hops
+        assert result.multi_gateway_served_by[sensor] == gateway
+    assert result.matches_paper
+    # The headline of Section 4.1: total hops collapse 24 -> 5.
+    assert result.total_hops_single == 24
+    assert result.total_hops_multi == 5

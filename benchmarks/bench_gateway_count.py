@@ -1,0 +1,31 @@
+"""E6 — gateway-number model: lifetime vs k, saturation at K_max.
+
+Reproduction criterion (shape, after [34] as quoted in Section 4.1):
+lifetime improves as gateways are added, and the improvement saturates —
+the last doubling of k buys proportionally less than the first.
+"""
+
+from repro.experiments.gateway_count import run_gateway_count
+
+
+def test_lifetime_vs_gateway_count(once):
+    # K_max for this deployment is 8 (every sensor one hop from a
+    # gateway); sweeping to 12 shows the saturation beyond it.
+    result = once(run_gateway_count, ks=(1, 2, 4, 8, 12))
+    print("\n" + result.format_table())
+    life = result.lifetime_series
+    hops = [r.mean_hops_measured for r in result.rows]
+    # More gateways never hurt lifetime, and k>1 strictly beats k=1.
+    assert all(b >= a for a, b in zip(life, life[1:]))
+    assert life[1] > life[0]
+    # Hops shrink monotonically toward the 1-hop floor.
+    assert all(b <= a for a, b in zip(hops, hops[1:]))
+    assert hops[-1] >= 1.0
+    # Saturation beyond K_max ([34]'s empirical law): once every sensor
+    # is one hop from a gateway, adding more buys (almost) nothing.
+    kmax_gain = life[4] - life[3]  # 8 -> 12 gateways
+    first_gain = life[1] - life[0]  # 1 -> 2 gateways
+    assert kmax_gain < first_gain * 0.25
+    # The greedy placement model predicts the simulated hop counts.
+    for row in result.rows:
+        assert abs(row.mean_hops_model - row.mean_hops_measured) < 0.5

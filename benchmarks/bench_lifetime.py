@@ -1,0 +1,29 @@
+"""E5 — network lifetime: MLR vs SPR vs baselines.
+
+Reproduction criterion (shape): multi-gateway routing outlives the flat
+single-sink architecture; MLR (mobile gateways, accumulated tables) at
+least matches static-gateway SPR and beats flat; flooding dies first.
+"""
+
+from repro.experiments.lifetime import run_lifetime_comparison
+
+
+def test_lifetime_ordering(once):
+    result = once(
+        run_lifetime_comparison,
+        protocols=("MLR", "SPR", "flat-1-sink", "flooding"),
+    )
+    print("\n" + result.format_table())
+    mlr = result.lifetime_rounds("MLR")
+    spr = result.lifetime_rounds("SPR")
+    flat = result.lifetime_rounds("flat-1-sink")
+    flood = result.lifetime_rounds("flooding")
+    # The paper's ordering claims:
+    assert spr > flat, "multiple gateways must outlive the single sink"
+    assert mlr >= spr * 0.9, "MLR must at least match static-gateway SPR"
+    assert flood < flat, "flooding's implosion must kill the network first"
+    # MLR balances energy better than the flat architecture (eq. 1's D^2).
+    assert result.balance["MLR"] > result.balance["flat-1-sink"]
+    # Everyone still delivers while alive.
+    for name in ("MLR", "SPR", "flat-1-sink"):
+        assert result.results[name].delivery_ratio > 0.9

@@ -1,0 +1,21 @@
+"""E11 — the LP relaxation of equations (1)-(6) vs the MLR heuristic.
+
+Reproduction criterion: the LP lifetime upper-bounds the simulated MLR
+lifetime (a violated bound means one of the two models is wrong), and
+the heuristic lands within a sane fraction of the bound — the paper's
+"results approximate to above design goal".
+"""
+
+from repro.experiments.lp_bound import run_lp_bound
+
+
+def test_lp_upper_bounds_mlr(once):
+    result = once(run_lp_bound)
+    print("\n" + result.format_table())
+    assert result.lp_lifetime_rounds > 0
+    # The bound must hold (fractional, splittable flows >= any schedule).
+    assert result.mlr_lifetime_rounds <= result.lp_lifetime_rounds * 1.01
+    # And the heuristic must not be absurdly far from it.
+    assert result.optimality_ratio > 0.05
+    # Per-round energy can't beat the LP energy floor either.
+    assert result.mlr_total_energy_per_round >= result.lp_min_total_energy * 0.99

@@ -1,0 +1,31 @@
+"""E9 — robustness: gateway loss and sensor die-off.
+
+Reproduction criterion (shape of the Section 1/3 claims): losing the
+single sink kills the flat architecture outright, while the multi-gateway
+WMSN keeps delivering through the surviving gateways; random sensor
+die-off degrades both gracefully, with re-routing retaining most traffic.
+"""
+
+from repro.experiments.robustness import run_robustness
+
+
+def test_failure_robustness(once):
+    result = once(run_robustness)
+    print("\n" + result.format_table())
+
+    # Single point of failure: the flat architecture dies with its sink.
+    flat_gw = result.row_for("gateway", "flat-1-sink")
+    assert flat_gw.delivery_before > 0.9
+    assert flat_gw.delivery_after < 0.05
+
+    # The multi-gateway WMSN keeps most traffic flowing.
+    multi_gw = result.row_for("gateway", "SPR-3-gw")
+    assert multi_gw.delivery_before > 0.9
+    assert multi_gw.delivery_after > 0.7
+
+    # Sensor die-off: both degrade gracefully (self-healing via re-routing),
+    # and multi-gateway retains at least as much as single-sink.
+    flat_s = result.row_for("sensors", "flat-1-sink")
+    multi_s = result.row_for("sensors", "SPR-3-gw")
+    assert multi_s.delivery_after > 0.6
+    assert multi_s.retained >= flat_s.retained - 0.1

@@ -1,0 +1,23 @@
+"""E4 — scalability: hops/latency vs size, single sink vs m gateways.
+
+Reproduction criterion (shape): single-sink mean hops grow with the
+field; the multi-gateway curve stays below it and the gap widens —
+"with the expansion of sensor networks, the average number of hops ...
+become more and more" (Section 1).
+"""
+
+from repro.experiments.scalability import run_scalability
+
+
+def test_scalability_single_vs_multi(once):
+    result = once(run_scalability, sizes=(50, 100, 200))
+    print("\n" + result.format_table())
+    single = result.single_sink_hops_series
+    multi = result.multi_gateway_hops_series
+    # Multi-gateway wins at every size...
+    for s, m in zip(single, multi):
+        assert m < s
+    # ...single-sink hops grow monotonically with the field...
+    assert single == sorted(single)
+    # ...and the largest network shows a bigger absolute gap than the smallest.
+    assert (single[-1] - multi[-1]) > (single[0] - multi[0])

@@ -1,0 +1,23 @@
+"""E7 — SecMLR's cost over MLR on identical scenarios.
+
+Reproduction criterion (shape): security costs something — more bytes on
+the air (SNEP envelopes, μTESLA disclosures) and more discovery latency
+(gateway collection timeout, no table answering) — but delivery is
+preserved; the overhead is bounded, not catastrophic.
+"""
+
+from repro.experiments.security_overhead import run_security_overhead
+
+
+def test_secmlr_overhead(once):
+    result = once(run_security_overhead)
+    print("\n" + result.format_table())
+    # Security must not break the protocol.
+    assert result.secmlr.delivery_ratio > 0.95
+    assert abs(result.secmlr.mean_hops - result.mlr.mean_hops) < 0.5
+    # It must cost something (otherwise the crypto isn't on the air)...
+    assert result.byte_overhead > 0.05
+    assert result.latency_overhead > 0.0
+    # ...but stay within the same order of magnitude.
+    assert result.byte_overhead < 2.0
+    assert result.energy_overhead < 2.0

@@ -1,0 +1,22 @@
+"""E2 — Table 1: MLR's incremental routing table over three rounds.
+
+Reproduction criterion: *exact* — panels (a)-(c) and the per-round
+selected place must match the paper (A:8 B:6 C:7 → select B; +D:5 →
+select D; +E:6 → still D).
+"""
+
+from repro.experiments.table1_mlr import PAPER_TABLE1, run_table1
+
+
+def test_table1_incremental_tables(once):
+    result = once(run_table1)
+    print("\n" + result.format_table())
+    assert result.matches_paper
+    for (paper_panel, paper_sel), panel, sel in zip(
+        PAPER_TABLE1, result.panels, result.selections
+    ):
+        assert panel == paper_panel
+        assert sel == paper_sel
+    # The accumulation property: the table only ever grows.
+    sizes = [len(p) for p in result.panels]
+    assert sizes == sorted(sizes) == [3, 4, 5]

@@ -1,0 +1,24 @@
+"""Shared benchmark configuration.
+
+Every benchmark runs its experiment exactly once (``pedantic`` with one
+round): the experiments are full discrete-event simulations whose
+interesting output is the reproduced table, not a microsecond timing
+distribution.  Each benchmark prints the paper-style table (visible with
+``pytest benchmarks/ --benchmark-only -s``) and asserts the *shape* the
+paper claims.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Battlefield monitoring: SecMLR under active attack.
+
+The paper's security motivation (Sections 2.3 and 6): "Applications of
+wireless sensor networks often include sensitive information such as
+enemy movement on the battlefield", sinks may be mobile, and captured
+nodes mount routing attacks.  This script deploys a field with mobile
+gateways, compromises two sensors (a sinkhole attacker and a replayer),
+and runs the *same* battle twice — once with plain MLR, once with SecMLR
+— printing what each attack achieved against each protocol.
+
+Run:  python examples/battlefield_secure_routing.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import MLR, SecMLR
+from repro.security import ReplayAttacker, SinkholeAttacker, compromise
+from repro.sim import (
+    Channel,
+    FeasiblePlaces,
+    GatewaySchedule,
+    IEEE802154,
+    Simulator,
+    build_sensor_network,
+    uniform_deployment,
+)
+
+FIELD = 200.0
+ROUND = 6.0
+ROUNDS = 5
+
+def battle(protocol_cls, label: str) -> list:
+    places = FeasiblePlaces.from_mapping({
+        "FOB-alpha": (0.15 * FIELD, 0.15 * FIELD),
+        "FOB-bravo": (0.85 * FIELD, 0.85 * FIELD),
+        "ridge": (0.5 * FIELD, 0.5 * FIELD),
+        "river": (0.15 * FIELD, 0.85 * FIELD),
+        "pass": (0.85 * FIELD, 0.15 * FIELD),
+    })
+    sensors = uniform_deployment(n=60, field_size=FIELD, seed=21)
+    initial = [places.position("FOB-alpha"), places.position("FOB-bravo")]
+    network = build_sensor_network(sensors, np.asarray(initial), comm_range=50.0)
+    sim = Simulator(seed=9)
+    channel = Channel(sim, network, IEEE802154.ideal())
+    schedule = GatewaySchedule.rotating(places, network.gateway_ids, num_rounds=ROUNDS, seed=2)
+    protocol = protocol_cls(sim, network, channel, schedule)
+
+    # The adversary captured two sensors: one central (sinkhole), one near
+    # a gateway (replays everything it forwards).
+    center = min(
+        network.sensor_ids,
+        key=lambda s: float(((network.positions[s] - FIELD / 2) ** 2).sum()),
+    )
+    near_gw = min(
+        network.sensor_ids,
+        key=lambda s: network.distance(s, network.gateway_ids[0]),
+    )
+    sinkhole = compromise(protocol, center, SinkholeAttacker())
+    replayer = compromise(protocol, near_gw, ReplayAttacker(delay=0.9))
+
+    honest = [s for s in network.sensor_ids if s not in (center, near_gw)]
+    for r in range(ROUNDS):
+        sim.run(until=r * ROUND)
+        protocol.start_round(r)
+        for i, s in enumerate(honest):
+            sim.schedule(2.2 + (i % 59) * 1e-3, protocol.send_data, s)
+    sim.run()
+
+    m = channel.metrics
+    from collections import Counter
+
+    copies = Counter((r.origin, r.uid) for r in m.deliveries)
+    duplicates = sum(v - 1 for v in copies.values())
+    rejected = sum(protocol.security_rejections.values()) if hasattr(
+        protocol, "security_rejections") else 0
+    return [
+        label,
+        round(min(1.0, len(copies) / m.data_generated), 3),
+        duplicates,
+        sinkhole.stats.get("forged_rres", 0),
+        sinkhole.stats.get("swallowed_data", 0),
+        replayer.stats.get("replayed", 0),
+        rejected,
+    ]
+
+def main() -> None:
+    rows = [battle(MLR, "MLR (unsecured)"), battle(SecMLR, "SecMLR")]
+    print(format_table(
+        ["protocol", "honest delivery", "dup accepted", "fake routes sent",
+         "data swallowed", "replays sent", "crypto rejects"],
+        rows,
+        title="Battlefield: sinkhole + replay attackers vs MLR and SecMLR",
+    ))
+    print(
+        "\nReading: the sinkhole's forged routes only *work* against MLR\n"
+        "(data swallowed > 0, delivery down); SecMLR rejects the forgeries\n"
+        "and the replays (crypto rejects > 0) and keeps delivering."
+    )
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Statistics and reporting helpers shared by experiments and benchmarks."""
+
+from repro.analysis.stats import (
+    energy_balance_index,
+    energy_stats,
+    first_death_time,
+    hop_histogram,
+    jain_fairness,
+    residual_energy,
+)
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "energy_stats",
+    "residual_energy",
+    "first_death_time",
+    "energy_balance_index",
+    "jain_fairness",
+    "hop_histogram",
+    "format_table",
+]

@@ -1,0 +1,85 @@
+"""Energy and topology statistics over a simulated network.
+
+These are the derived quantities the paper's goals are phrased in:
+total energy (eq. 1 first objective), the variance ``D^2`` of per-node
+energy (eq. 1 second objective), lifetime (first node death, Section 5.3),
+and fairness/balance indices used to compare protocols in E5.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.sim.network import Network
+from repro.sim.trace import MetricsCollector
+
+__all__ = [
+    "energy_stats",
+    "residual_energy",
+    "first_death_time",
+    "energy_balance_index",
+    "jain_fairness",
+    "hop_histogram",
+]
+
+
+def _sensor_spent(network: Network) -> np.ndarray:
+    return np.array([network.nodes[s].energy.spent for s in network.sensor_ids])
+
+
+def energy_stats(network: Network) -> dict[str, float]:
+    """Total / mean / max / variance of sensor energy consumption (joules).
+
+    ``variance`` is exactly the paper's ``D^2`` objective of eq. (1).
+    """
+    spent = _sensor_spent(network)
+    if len(spent) == 0:
+        return {"total": 0.0, "mean": 0.0, "max": 0.0, "variance": 0.0, "std": 0.0}
+    return {
+        "total": float(spent.sum()),
+        "mean": float(spent.mean()),
+        "max": float(spent.max()),
+        "variance": float(spent.var()),
+        "std": float(spent.std()),
+    }
+
+
+def residual_energy(network: Network) -> np.ndarray:
+    """Remaining battery per sensor (clipped at zero for the dead)."""
+    return np.array([max(0.0, network.nodes[s].energy.remaining) for s in network.sensor_ids])
+
+
+def first_death_time(metrics: MetricsCollector) -> Optional[float]:
+    """Network lifetime under the paper's definition (None = all alive)."""
+    return metrics.lifetime
+
+
+def energy_balance_index(network: Network) -> float:
+    """1 - coefficient of variation of spent energy (1.0 = perfectly even).
+
+    A compact balance score: the paper's MLR should score markedly higher
+    than single-sink routing, where nodes near the sink do all the work.
+    """
+    spent = _sensor_spent(network)
+    if len(spent) == 0 or spent.mean() == 0:
+        return 1.0
+    return float(max(0.0, 1.0 - spent.std() / spent.mean()))
+
+
+def jain_fairness(values: Iterable[float]) -> float:
+    """Jain's fairness index of a non-negative sequence (1.0 = equal)."""
+    v = np.asarray(list(values), dtype=float)
+    if len(v) == 0:
+        return 1.0
+    denom = len(v) * float((v * v).sum())
+    if denom == 0:
+        return 1.0
+    return float(v.sum()) ** 2 / denom
+
+
+def hop_histogram(metrics: MetricsCollector) -> dict[int, int]:
+    """Delivered-packet count per end-to-end hop count."""
+    return dict(sorted(Counter(r.hops for r in metrics.deliveries).items()))

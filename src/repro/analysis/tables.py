@@ -1,0 +1,52 @@
+"""Plain-text table rendering for experiment reports.
+
+Benchmarks print the same rows/series the paper reports; this keeps the
+formatting in one place so every experiment's output looks alike and
+EXPERIMENTS.md can quote it directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table"]
+
+
+def _cell(value: Any, ndigits: int = 3) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.{ndigits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+    ndigits: int = 3,
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5], ["x", 3.0]]))
+    a | b
+    --+------
+    1 | 2.500
+    x | 3
+    """
+    cells = [[_cell(v, ndigits) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)

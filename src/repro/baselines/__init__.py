@@ -1,0 +1,37 @@
+"""Baseline protocols the paper compares against (Section 2.2).
+
+Every baseline runs on the same simulator substrate and energy model as
+SPR/MLR/SecMLR so comparisons in the benchmarks are apples-to-apples:
+
+* :class:`~repro.baselines.flat.FlatSinkRouting` — the classical flat
+  single-sink architecture (minimum-hop to the one sink), the strawman of
+  Section 1.
+* :class:`~repro.baselines.flooding.Flooding` — classic flooding
+  (Section 2.2.1): every node rebroadcasts every packet once.
+* :class:`~repro.baselines.flooding.Gossiping` — the random-single-
+  neighbor derivative of flooding.
+* :class:`~repro.baselines.leach.LEACH` — the 2-level clustering
+  hierarchy [17]: rotating cluster heads, members transmit to their head,
+  heads transmit long-range directly to the sink.
+* :class:`~repro.baselines.mcfa.MCFA` — minimum cost forwarding [24]:
+  a one-time cost wave from the sink, then packets roll downhill.
+* :class:`~repro.baselines.direct.DirectTransmission` — every node
+  transmits straight to the sink at distance-dependent amplifier cost
+  (LEACH's own baseline; useful to sanity-check the energy model).
+"""
+
+from repro.baselines.flat import FlatSinkRouting
+from repro.baselines.flooding import Flooding, Gossiping
+from repro.baselines.leach import LEACH, LeachConfig
+from repro.baselines.mcfa import MCFA
+from repro.baselines.direct import DirectTransmission
+
+__all__ = [
+    "FlatSinkRouting",
+    "Flooding",
+    "Gossiping",
+    "LEACH",
+    "LeachConfig",
+    "MCFA",
+    "DirectTransmission",
+]

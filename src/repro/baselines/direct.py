@@ -1,0 +1,69 @@
+"""Direct transmission: every sensor uplinks straight to the nearest sink.
+
+LEACH's own baseline.  There is no routing at all; each datum costs one
+transmission at the true sensor-to-sink distance (d^2 or d^4 amplifier),
+so far nodes die first — the mirror image of the flat multihop
+architecture where *near* nodes die first.  Useful both as a comparison
+row in E5 and as a sanity check of the first-order energy model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.exceptions import RoutingError
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.sim.packet import DATA_PAYLOAD_BYTES, MAC_HEADER_BYTES, Packet, PacketKind
+from repro.sim.radio import Channel
+
+__all__ = ["DirectTransmission"]
+
+
+class DirectTransmission:
+    """One-hop variable-power uplink to the nearest gateway."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        channel: Channel,
+        payload_bytes: int = DATA_PAYLOAD_BYTES,
+    ) -> None:
+        if not network.gateway_ids:
+            raise RoutingError("direct transmission needs a gateway")
+        self.sim = sim
+        self.network = network
+        self.channel = channel
+        self.metrics = channel.metrics
+        self.energy_model = channel.energy_model
+        self.payload_bytes = payload_bytes
+        self._data_ids = itertools.count(1)
+
+    def send_data(self, source: int, payload_bytes: Optional[int] = None) -> int:
+        data_id = next(self._data_ids)
+        self.metrics.on_data_generated()
+        node = self.network.nodes[source]
+        if not node.alive:
+            self.metrics.on_drop("dead_source")
+            return data_id
+        sink = min(self.network.gateway_ids, key=lambda g: self.network.distance(source, g))
+        nbytes = payload_bytes if payload_bytes is not None else self.payload_bytes
+        bits = 8 * (MAC_HEADER_BYTES + nbytes)
+        d = self.network.distance(source, sink)
+        node.energy.charge_tx(self.energy_model.tx_cost(bits, d), self.sim.now)
+        if not node.energy.alive:
+            self.metrics.on_node_death(source, self.sim.now)
+        pkt = Packet(
+            kind=PacketKind.DATA,
+            origin=source,
+            target=sink,
+            payload={"data_id": data_id},
+            payload_bytes=nbytes,
+            hop_count=1,
+            created_at=self.sim.now,
+        )
+        self.metrics.on_send(pkt)
+        self.metrics.on_data_delivered(pkt, sink, self.sim.now)
+        return data_id

@@ -1,0 +1,44 @@
+"""The flat single-sink architecture (the paper's strawman, Section 1).
+
+Traditional WSN routing sends everything to one sink over minimum-hop
+paths.  Mechanically this is exactly SPR restricted to a single gateway,
+so we subclass :class:`~repro.core.spr.SPR` and enforce the restriction —
+which keeps the comparison honest: identical discovery cost model,
+identical forwarding, the *only* difference measured by the experiments is
+the number (and mobility) of sinks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.base import ProtocolConfig
+from repro.core.spr import SPR
+from repro.exceptions import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.sim.radio import Channel
+
+__all__ = ["FlatSinkRouting"]
+
+
+class FlatSinkRouting(SPR):
+    """Minimum-hop routing to a single static sink."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        channel: Channel,
+        config: Optional[ProtocolConfig] = None,
+    ) -> None:
+        if len(network.gateway_ids) != 1:
+            raise ConfigurationError(
+                f"FlatSinkRouting needs exactly one sink, got {len(network.gateway_ids)}"
+            )
+        super().__init__(sim, network, channel, config)
+
+    @property
+    def sink(self) -> int:
+        """The single sink's node id."""
+        return self.network.gateway_ids[0]

@@ -1,0 +1,233 @@
+"""LEACH — low-energy adaptive clustering hierarchy [17] (Section 2.2.2).
+
+The 2-level hierarchical baseline: nodes self-elect cluster heads with the
+rotating-probability rule, members transmit to their head single-hop with
+distance-proportional power, heads aggregate and transmit the fused frame
+*directly to the sink* — the long-range hop whose d^4 amplifier cost is
+why "it is not applicable to networks deployed in large regions"
+(Section 2.2.2), which experiment E5 measures.
+
+LEACH controls its own radio power per link (unlike the fixed-power
+sensor MAC), so it bypasses :class:`~repro.sim.radio.Channel` and charges
+the first-order model directly with the true link distance; intra-cluster
+traffic is TDMA-scheduled in the real protocol, hence modelled
+collision-free.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import ConfigurationError, RoutingError
+from repro.sim.energy import EnergyModel
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.sim.node import NodeKind
+from repro.sim.packet import DATA_PAYLOAD_BYTES, MAC_HEADER_BYTES, Packet, PacketKind
+from repro.sim.radio import Channel
+
+__all__ = ["LEACH", "LeachConfig"]
+
+
+@dataclass(frozen=True)
+class LeachConfig:
+    """LEACH parameters (defaults from the original paper)."""
+
+    head_fraction: float = 0.05
+    """Desired fraction P of nodes serving as cluster heads per round."""
+
+    aggregation_energy: float = 5e-9
+    """E_DA, joules per bit per fused signal."""
+
+    advertisement_bytes: int = 8
+    data_payload_bytes: int = DATA_PAYLOAD_BYTES
+
+    def __post_init__(self) -> None:
+        if not 0 < self.head_fraction <= 1:
+            raise ConfigurationError("head_fraction must be in (0, 1]")
+
+
+class LEACH:
+    """Cluster-based routing to a single sink.
+
+    Drive it round by round::
+
+        leach.start_round(r)     # election + cluster formation
+        leach.send_data(s)       # member -> head (or direct if headless)
+        leach.flush_round()      # heads aggregate and uplink to the sink
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        channel: Channel,
+        config: Optional[LeachConfig] = None,
+    ) -> None:
+        if len(network.gateway_ids) < 1:
+            raise RoutingError("LEACH needs a sink")
+        self.sim = sim
+        self.network = network
+        self.channel = channel
+        self.metrics = channel.metrics
+        self.energy_model: EnergyModel = channel.energy_model
+        self.config = config or LeachConfig()
+        self.sink = network.gateway_ids[0]
+        self._data_ids = itertools.count(1)
+        self.current_round = -1
+        self.heads: list[int] = []
+        self.cluster_of: dict[int, int] = {}
+        self._buffered: dict[int, list[int]] = {}
+        self._last_head_round: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # round machinery
+    # ------------------------------------------------------------------
+    def _election_threshold(self, node_id: int, r: int) -> float:
+        """T(n) from [17]: rotates headship so everyone serves once per epoch."""
+        p = self.config.head_fraction
+        epoch = int(round(1.0 / p))
+        last = self._last_head_round.get(node_id)
+        if last is not None and r - last < epoch:
+            return 0.0  # served too recently
+        return p / (1.0 - p * (r % epoch))
+
+    def start_round(self, r: int) -> None:
+        """Elect heads and form clusters for round ``r``."""
+        self.current_round = r
+        self.heads = []
+        self.cluster_of = {}
+        self._buffered = {}
+        rng = self.sim.rng
+        alive_sensors = [s for s in self.network.sensor_ids if self.network.nodes[s].alive]
+        for s in alive_sensors:
+            if rng.random() < self._election_threshold(s, r):
+                self.heads.append(s)
+                self._last_head_round[s] = r
+        # Heads advertise; members join the nearest head (signal-strength
+        # proxy). Advertisement reaches the whole field in LEACH (heads
+        # broadcast at high power), charged at field-diameter distance.
+        diameter = self._field_diameter()
+        adv_bits = 8 * (MAC_HEADER_BYTES + self.config.advertisement_bytes)
+        for h in self.heads:
+            self._charge_tx(h, adv_bits, diameter)
+        for s in alive_sensors:
+            if s in self.heads:
+                self._buffered[s] = []
+                continue
+            # Receiving each advertisement costs rx energy.
+            for _ in self.heads:
+                self._charge_rx(s, adv_bits)
+            head = self._nearest_head(s)
+            if head is not None:
+                self.cluster_of[s] = head
+
+    def _field_diameter(self) -> float:
+        pos = self.network.positions
+        span = pos.max(axis=0) - pos.min(axis=0)
+        return float(math.hypot(span[0], span[1]))
+
+    def _nearest_head(self, s: int) -> Optional[int]:
+        alive_heads = [h for h in self.heads if self.network.nodes[h].alive]
+        if not alive_heads:
+            return None
+        return min(alive_heads, key=lambda h: self.network.distance(s, h))
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    def send_data(self, source: int, payload_bytes: Optional[int] = None) -> int:
+        data_id = next(self._data_ids)
+        self.metrics.on_data_generated()
+        node = self.network.nodes[source]
+        if not node.alive:
+            self.metrics.on_drop("dead_source")
+            return data_id
+        nbytes = payload_bytes if payload_bytes is not None else self.config.data_payload_bytes
+        bits = 8 * (MAC_HEADER_BYTES + nbytes)
+
+        if source in self._buffered:  # this node is a head
+            self._buffered[source].append(data_id)
+            return data_id
+
+        head = self.cluster_of.get(source)
+        if head is None or not self.network.nodes[head].alive:
+            # Headless round: transmit directly to the sink (LEACH's
+            # degenerate case — exactly DirectTransmission cost).
+            self._uplink(source, [data_id], bits)
+            return data_id
+
+        d = self.network.distance(source, head)
+        if not self._charge_tx(source, bits, d):
+            self.metrics.on_drop("dead_source")
+            return data_id
+        self._make_send_record(PacketKind.DATA, nbytes)
+        if self._charge_rx(head, bits):
+            self._buffered.setdefault(head, []).append(data_id)
+        else:
+            self.metrics.on_drop("dead_next_hop")
+        return data_id
+
+    def flush_round(self) -> None:
+        """Heads fuse buffered data and uplink one frame each to the sink."""
+        for head, ids in self._buffered.items():
+            if not ids or not self.network.nodes[head].alive:
+                continue
+            nbytes = self.config.data_payload_bytes
+            bits = 8 * (MAC_HEADER_BYTES + nbytes)
+            # Aggregation energy: E_DA per bit per fused signal.
+            agg = self.config.aggregation_energy * bits * len(ids)
+            self.network.nodes[head].energy.charge_tx(agg, self.sim.now)
+            self._check_death(head)
+            self._uplink(head, ids, bits)
+        self._buffered = {h: [] for h in self._buffered}
+
+    def _uplink(self, node_id: int, data_ids: list[int], bits: int) -> None:
+        d = self.network.distance(node_id, self.sink)
+        if not self._charge_tx(node_id, bits, d):
+            self.metrics.on_drop("dead_source")
+            return
+        nbytes = bits // 8 - MAC_HEADER_BYTES
+        self._make_send_record(PacketKind.DATA, nbytes)
+        for did in data_ids:
+            pkt = Packet(
+                kind=PacketKind.DATA,
+                origin=node_id,
+                target=self.sink,
+                payload={"data_id": did},
+                payload_bytes=nbytes,
+                hop_count=2 if node_id in self._buffered else 1,
+                created_at=self.sim.now,
+            )
+            self.metrics.on_data_delivered(pkt, self.sink, self.sim.now)
+
+    # ------------------------------------------------------------------
+    # energy bookkeeping (direct, variable-power radio)
+    # ------------------------------------------------------------------
+    def _charge_tx(self, node_id: int, bits: int, distance: float) -> bool:
+        node = self.network.nodes[node_id]
+        if not node.alive:
+            return False
+        node.energy.charge_tx(self.energy_model.tx_cost(bits, distance), self.sim.now)
+        self._check_death(node_id)
+        return True
+
+    def _charge_rx(self, node_id: int, bits: int) -> bool:
+        node = self.network.nodes[node_id]
+        if not node.alive:
+            return False
+        node.energy.charge_rx(self.energy_model.rx_cost(bits), self.sim.now)
+        self._check_death(node_id)
+        return True
+
+    def _check_death(self, node_id: int) -> None:
+        node = self.network.nodes[node_id]
+        if not node.energy.alive:
+            self.metrics.on_node_death(node_id, self.sim.now)
+
+    def _make_send_record(self, kind: PacketKind, payload_bytes: int) -> None:
+        probe = Packet(kind=kind, origin=-1, target=None, payload_bytes=payload_bytes)
+        self.metrics.on_send(probe)

@@ -1,0 +1,142 @@
+"""MCFA — minimum cost forwarding algorithm [24] (Section 2.2.1).
+
+"a sensor node need not have a unique ID nor maintain a routing table.
+Instead, each node maintains the least cost estimate from itself to the
+base-station."  Two phases:
+
+1. **Cost wave** — the sink floods an advertisement; every node keeps the
+   minimum cost (hops here) it has heard and rebroadcasts only on
+   improvement.  With multiple gateways the waves merge into
+   cost-to-nearest-sink.
+2. **Forwarding** — a data packet is broadcast carrying the remaining
+   cost ``R``; exactly the neighbors whose own cost equals ``R - 1``
+   forward it (resetting ``R``), so the packet rolls downhill to the sink
+   without any addressing.  Several equal-cost neighbors may forward the
+   same packet — MCFA's intrinsic redundancy; duplicates are suppressed
+   per node and counted once at the sink.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.exceptions import RoutingError
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.sim.node import NodeKind
+from repro.sim.packet import DATA_PAYLOAD_BYTES, Packet, PacketKind
+from repro.sim.radio import Channel
+
+__all__ = ["MCFA"]
+
+
+class MCFA:
+    """Minimum-cost (hop) forwarding to the nearest gateway."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        channel: Channel,
+        payload_bytes: int = DATA_PAYLOAD_BYTES,
+    ) -> None:
+        if not network.gateway_ids:
+            raise RoutingError("MCFA needs at least one gateway")
+        self.sim = sim
+        self.network = network
+        self.channel = channel
+        self.metrics = channel.metrics
+        self.payload_bytes = payload_bytes
+        self._data_ids = itertools.count(1)
+        self.cost: dict[int, float] = {g: 0.0 for g in network.gateway_ids}
+        self._forwarded: dict[int, set[int]] = {n.node_id: set() for n in network.nodes}
+        self._delivered: dict[int, set[int]] = {g: set() for g in network.gateway_ids}
+        self._setup_done = False
+        for node in network.nodes:
+            node.handler = self._make_handler(node.node_id)
+
+    # ------------------------------------------------------------------
+    # phase 1: cost wave
+    # ------------------------------------------------------------------
+    def setup(self) -> None:
+        """Flood the cost advertisement from every gateway."""
+        for g in self.network.gateway_ids:
+            pkt = Packet(
+                kind=PacketKind.HELLO,
+                origin=g,
+                target=None,
+                payload={"cost": 0, "adv": True},
+                payload_bytes=4,
+                created_at=self.sim.now,
+            )
+            self.channel.send(g, pkt)
+        self._setup_done = True
+
+    def _on_adv(self, node_id: int, pkt: Packet) -> None:
+        new_cost = pkt.payload["cost"] + 1
+        if new_cost >= self.cost.get(node_id, float("inf")):
+            return
+        self.cost[node_id] = new_cost
+        self.channel.send(
+            node_id,
+            pkt.fork(src=node_id, dst=None, payload={"cost": new_cost, "adv": True},
+                     hop_count=pkt.hop_count + 1),
+        )
+
+    # ------------------------------------------------------------------
+    # phase 2: downhill forwarding
+    # ------------------------------------------------------------------
+    def send_data(self, source: int, payload_bytes: Optional[int] = None) -> int:
+        if not self._setup_done:
+            raise RoutingError("call setup() and run the cost wave before sending data")
+        data_id = next(self._data_ids)
+        self.metrics.on_data_generated()
+        node = self.network.nodes[source]
+        if not node.alive:
+            self.metrics.on_drop("dead_source")
+            return data_id
+        cost = self.cost.get(source)
+        if cost is None:
+            self.metrics.on_drop("no_route")
+            return data_id
+        pkt = Packet(
+            kind=PacketKind.DATA,
+            origin=source,
+            target=None,
+            payload={"data_id": data_id, "remaining": cost},
+            payload_bytes=payload_bytes if payload_bytes is not None else self.payload_bytes,
+            hop_count=1,  # a frame carries the hops travelled once received
+            created_at=self.sim.now,
+        )
+        self._forwarded[source].add(data_id)
+        self.channel.send(source, pkt)
+        return data_id
+
+    def _on_data(self, node_id: int, pkt: Packet) -> None:
+        data_id = pkt.payload["data_id"]
+        node = self.network.nodes[node_id]
+        if node.kind is NodeKind.GATEWAY:
+            if data_id not in self._delivered[node_id]:
+                self._delivered[node_id].add(data_id)
+                self.metrics.on_data_delivered(pkt, node_id, self.sim.now)
+            return
+        my_cost = self.cost.get(node_id)
+        if my_cost is None or my_cost != pkt.payload["remaining"] - 1:
+            return  # not on the downhill front
+        if data_id in self._forwarded[node_id]:
+            return
+        self._forwarded[node_id].add(data_id)
+        fwd = pkt.fork(src=node_id, dst=None, hop_count=pkt.hop_count + 1)
+        fwd.payload["remaining"] = my_cost
+        self.channel.send(node_id, fwd)
+
+    # ------------------------------------------------------------------
+    def _make_handler(self, node_id: int):
+        def handler(pkt: Packet) -> None:
+            if pkt.kind is PacketKind.HELLO and pkt.payload.get("adv"):
+                self._on_adv(node_id, pkt)
+            elif pkt.kind is PacketKind.DATA:
+                self._on_data(node_id, pkt)
+
+        return handler

@@ -1,0 +1,45 @@
+"""The paper's primary contribution: routing protocols for WMSNs.
+
+* :mod:`repro.core.routing_table` — route entries, the accumulated MLR
+  table of Table 1, and SecMLR's 4-tuple forwarding entries.
+* :mod:`repro.core.base` — the shared on-demand discovery machinery
+  (flooded RREQ, table answering per Property 1, RRES return, source
+  routing on the first DATA).
+* :mod:`repro.core.spr` — Shortest Path Routing (Section 5.2).
+* :mod:`repro.core.mlr` — Maximal network Lifetime Routing (Section 5.3).
+* :mod:`repro.core.secmlr` — secure MLR (Section 6.2).
+* :mod:`repro.core.placement` — gateway number/deployment models (Section 4.1).
+* :mod:`repro.core.lifetime` — the LP formulation of equations (1)-(6).
+"""
+
+from repro.core.routing_table import ForwardingEntry, RouteEntry, RoutingTable
+from repro.core.base import DiscoveryProtocol, ProtocolConfig
+from repro.core.spr import SPR
+from repro.core.mlr import MLR
+from repro.core.secmlr import SecMLR
+from repro.core.placement import (
+    greedy_gateway_placement,
+    kmax_gateway_count,
+    mean_hops_for_placement,
+)
+from repro.core.lifetime import LifetimeLP, LifetimeSolution
+from repro.core.topology_control import SleepScheduler
+from repro.core.qos import LoadBalancedMLR
+
+__all__ = [
+    "RouteEntry",
+    "ForwardingEntry",
+    "RoutingTable",
+    "DiscoveryProtocol",
+    "ProtocolConfig",
+    "SPR",
+    "MLR",
+    "SecMLR",
+    "greedy_gateway_placement",
+    "kmax_gateway_count",
+    "mean_hops_for_placement",
+    "LifetimeLP",
+    "LifetimeSolution",
+    "SleepScheduler",
+    "LoadBalancedMLR",
+]

@@ -1,0 +1,221 @@
+"""The lifetime optimisation of Section 5.3, equations (1)-(6), as LPs.
+
+The paper states the routing goal as a two-objective program — minimise
+total energy ``sum E_i`` and the variance of per-node energy — subject to
+flow conservation (eq. 3), per-node energy accounting (eq. 2) and
+single-gateway assignment per round (eq. 4, 5), and notes that solving it
+exactly "probably is a NP problem", motivating the heuristic MLR.
+
+This module provides the standard LP relaxations used to *bound* the
+heuristic (experiment E11):
+
+* :meth:`LifetimeLP.solve_min_energy` — stage 1: minimise total energy;
+  stage 2 (the variance surrogate): minimise the maximum per-node energy
+  subject to total energy staying within a tolerance of the stage-1
+  optimum.  Min-max is the standard linearisable stand-in for eq. (1)'s
+  variance term.
+* :meth:`LifetimeLP.solve_max_lifetime` — the classic maximum-lifetime
+  flow LP (Chang–Tassiulas; the paper cites its descendants [9, 10]):
+  maximise ``L`` such that a per-round flow pattern sustained for ``L``
+  rounds respects every battery.  Its optimum upper-bounds any schedule,
+  including MLR's.
+
+Fractional, splittable flows make these *relaxations*: real packets are
+integral and MLR pins each node to one gateway per round (eq. 4), so the
+LP value is an upper bound on lifetime / lower bound on energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.exceptions import ConfigurationError, TopologyError
+from repro.sim.network import Network
+
+__all__ = ["LifetimeSolution", "LifetimeLP"]
+
+
+@dataclass(frozen=True)
+class LifetimeSolution:
+    """Result of one LP solve."""
+
+    objective: float
+    node_energy: dict[int, float]  # per-round joules per sensor
+    flows: dict[tuple[int, int], float]  # packets/round on each used edge
+    status: str
+
+    @property
+    def total_energy(self) -> float:
+        return float(sum(self.node_energy.values()))
+
+    @property
+    def max_energy(self) -> float:
+        return float(max(self.node_energy.values(), default=0.0))
+
+    @property
+    def energy_variance(self) -> float:
+        values = np.array(list(self.node_energy.values()))
+        return float(values.var()) if len(values) else 0.0
+
+
+class LifetimeLP:
+    """LP model over a sensor network's directed link graph.
+
+    Parameters
+    ----------
+    network:
+        The sensor-tier topology (gateways included).
+    et, er:
+        Energy per *packet* for transmit and receive (joules).  Compute
+        them from the energy model and packet size, e.g.
+        ``model.tx_cost(bits, range)`` and ``model.rx_cost(bits)``.
+    generation_rate:
+        ``T`` of eq. (3): packets generated per sensor per round (scalar
+        or per-sensor sequence).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        et: float,
+        er: float,
+        generation_rate: float | Sequence[float] = 1.0,
+    ) -> None:
+        if et <= 0 or er < 0:
+            raise ConfigurationError("et must be positive and er non-negative")
+        self.network = network
+        self.et = float(et)
+        self.er = float(er)
+        self.sensors = network.sensor_ids
+        self.gateways = network.gateway_ids
+        if not self.sensors or not self.gateways:
+            raise ConfigurationError("need at least one sensor and one gateway")
+        if np.isscalar(generation_rate):
+            self.rates = {s: float(generation_rate) for s in self.sensors}
+        else:
+            rates = list(generation_rate)
+            if len(rates) != len(self.sensors):
+                raise ConfigurationError("one generation rate per sensor required")
+            self.rates = dict(zip(self.sensors, map(float, rates)))
+
+        # Directed edges: sensor->sensor (both directions) and
+        # sensor->gateway. Gateways only absorb.
+        sensor_set = set(self.sensors)
+        self.edges: list[tuple[int, int]] = []
+        for i in self.sensors:
+            for j in self.network.neighbors(i):
+                j = int(j)
+                if j in sensor_set or j in set(self.gateways):
+                    self.edges.append((i, j))
+        if not self.edges:
+            raise TopologyError("sensor network has no usable links")
+        self._edge_index = {e: k for k, e in enumerate(self.edges)}
+
+    # ------------------------------------------------------------------
+    def _flow_conservation(self) -> tuple[np.ndarray, np.ndarray]:
+        """A_eq x = b_eq for eq. (3): out(i) - in(i) = T_i per sensor."""
+        ne = len(self.edges)
+        ns = len(self.sensors)
+        a = np.zeros((ns, ne))
+        b = np.zeros(ns)
+        row = {s: r for r, s in enumerate(self.sensors)}
+        for k, (i, j) in enumerate(self.edges):
+            a[row[i], k] += 1.0
+            if j in row:
+                a[row[j], k] -= 1.0
+        for s in self.sensors:
+            b[row[s]] = self.rates[s]
+        return a, b
+
+    def _energy_rows(self) -> np.ndarray:
+        """Matrix E with E[s] @ x = per-round energy of sensor s (eq. 2)."""
+        ne = len(self.edges)
+        ns = len(self.sensors)
+        e = np.zeros((ns, ne))
+        row = {s: r for r, s in enumerate(self.sensors)}
+        for k, (i, j) in enumerate(self.edges):
+            e[row[i], k] += self.et
+            if j in row:
+                e[row[j], k] += self.er
+        return e
+
+    def _extract(self, x: np.ndarray) -> tuple[dict[int, float], dict[tuple[int, int], float]]:
+        energy_rows = self._energy_rows()
+        node_energy = {
+            s: float(energy_rows[r] @ x[: len(self.edges)])
+            for r, s in enumerate(self.sensors)
+        }
+        flows = {
+            e: float(x[k])
+            for e, k in self._edge_index.items()
+            if x[k] > 1e-9
+        }
+        return node_energy, flows
+
+    # ------------------------------------------------------------------
+    def solve_min_energy(self, minmax_stage: bool = True, tolerance: float = 1e-6) -> LifetimeSolution:
+        """Equations (1)-(3): minimise total energy, then balance it.
+
+        Stage 1 minimises ``sum_i E_i``; stage 2 re-optimises for minimal
+        ``max_i E_i`` with total energy constrained to within
+        ``(1 + tolerance)`` of the stage-1 optimum (the linear surrogate
+        of the variance objective D^2).
+        """
+        ne = len(self.edges)
+        a_eq, b_eq = self._flow_conservation()
+        energy = self._energy_rows()
+        total_cost = energy.sum(axis=0)
+
+        res = linprog(c=total_cost, A_eq=a_eq, b_eq=b_eq, bounds=(0, None), method="highs")
+        if not res.success:
+            raise TopologyError(f"min-energy LP infeasible: {res.message}")
+        if not minmax_stage:
+            node_energy, flows = self._extract(res.x)
+            return LifetimeSolution(float(res.fun), node_energy, flows, "min_total")
+
+        # Stage 2: variables [x, z]; minimise z s.t. E_s x <= z, total <= opt.
+        c2 = np.zeros(ne + 1)
+        c2[-1] = 1.0
+        a_ub = np.hstack([energy, -np.ones((len(self.sensors), 1))])
+        b_ub = np.zeros(len(self.sensors))
+        a_ub = np.vstack([a_ub, np.append(total_cost, 0.0)])
+        b_ub = np.append(b_ub, res.fun * (1.0 + tolerance))
+        a_eq2 = np.hstack([a_eq, np.zeros((a_eq.shape[0], 1))])
+        res2 = linprog(
+            c=c2, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq2, b_eq=b_eq, bounds=(0, None), method="highs"
+        )
+        if not res2.success:
+            raise TopologyError(f"min-max LP infeasible: {res2.message}")
+        node_energy, flows = self._extract(res2.x)
+        return LifetimeSolution(float(res2.x[-1]), node_energy, flows, "min_total+minmax")
+
+    def solve_max_lifetime(self, battery: float) -> LifetimeSolution:
+        """Maximum-lifetime LP: the upper bound MLR is compared to (E11).
+
+        Variables are total packets ``x_e`` over the whole network life and
+        the lifetime ``L`` (rounds).  Constraints: conservation
+        ``out - in = rate * L`` and energy ``E_s x <= battery``.  Returns
+        ``objective = L*``; per-node energies are totals over the lifetime.
+        """
+        if battery <= 0:
+            raise ConfigurationError("battery must be positive")
+        ne = len(self.edges)
+        a_c, _ = self._flow_conservation()
+        rates = np.array([self.rates[s] for s in self.sensors])
+        # out - in - rate * L = 0
+        a_eq = np.hstack([a_c, -rates.reshape(-1, 1)])
+        b_eq = np.zeros(len(self.sensors))
+        energy = self._energy_rows()
+        a_ub = np.hstack([energy, np.zeros((len(self.sensors), 1))])
+        b_ub = np.full(len(self.sensors), battery)
+        c = np.zeros(ne + 1)
+        c[-1] = -1.0  # maximise L
+        res = linprog(c=c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=(0, None), method="highs")
+        if not res.success:
+            raise TopologyError(f"max-lifetime LP infeasible: {res.message}")
+        node_energy, flows = self._extract(res.x)
+        return LifetimeSolution(float(res.x[-1]), node_energy, flows, "max_lifetime")

@@ -1,0 +1,266 @@
+"""MLR — Maximal network Lifetime Routing (Section 5.3).
+
+MLR runs in *rounds*.  Gateways occupy ``m`` of the ``|P|`` feasible
+places; between rounds some move, and the protocol's defining trick is to
+**accumulate** routing-table entries keyed by feasible place instead of
+rebuilding tables every round:
+
+* Round 0 deploys gateways and sensors learn the initial assignment at
+  deployment time (no packets — the paper treats initial placement as
+  given).
+* At the start of a later round only *moved* gateways flood a NOTIFY with
+  their new place ("unmoved gateways do not need to issue such a
+  notification").
+* A sensor that needs to send checks its table: any currently-occupied
+  place without an entry triggers one discovery flood targeted at exactly
+  those gateways; places already in the table cost nothing, so after every
+  place has been visited the table has ``|P|`` entries and **no discovery
+  ever floods again** — the sensor just re-selects the least-hop entry
+  among this round's active places (the Table 1 walkthrough).
+
+Because paths lead to *places* (positions), a stored path stays valid when
+a different gateway occupies the place later; the final hop is re-bound to
+the current occupant at forwarding time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Iterable, Optional
+
+from repro.core.base import DiscoveryProtocol, ProtocolConfig
+from repro.core.routing_table import RouteEntry
+from repro.exceptions import ConfigurationError, RoutingError
+from repro.sim.engine import Simulator
+from repro.sim.mobility import GatewaySchedule
+from repro.sim.network import Network
+from repro.sim.node import NodeKind
+from repro.sim.packet import Packet, PacketKind
+from repro.sim.radio import Channel
+
+__all__ = ["MLR"]
+
+
+class MLR(DiscoveryProtocol):
+    """Maximal-lifetime routing with accumulated place-keyed tables.
+
+    Parameters
+    ----------
+    schedule:
+        The round-by-round gateway placement plan.  The gateways named in
+        the schedule must be exactly the network's gateways.
+    bootstrap_known:
+        When True (default) sensors know the round-0 assignment without
+        any packets; set False to force NOTIFY floods for round 0 too
+        (used when measuring worst-case setup cost).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        channel: Channel,
+        schedule: GatewaySchedule,
+        config: Optional[ProtocolConfig] = None,
+        bootstrap_known: bool = True,
+    ) -> None:
+        super().__init__(sim, network, channel, config)
+        gws = set(network.gateway_ids)
+        for r in range(schedule.num_rounds):
+            if set(schedule.assignment(r)) != gws:
+                raise ConfigurationError(
+                    f"schedule round {r} names gateways {sorted(schedule.assignment(r))} "
+                    f"but the network has {sorted(gws)}"
+                )
+        if len(schedule.places) < len(gws):
+            raise ConfigurationError("fewer feasible places than gateways")
+        self.schedule = schedule
+        self.bootstrap_known = bootstrap_known
+        self.current_round = -1
+        #: ground truth gateway -> place (what the schedule last applied)
+        self.gateway_place: dict[int, str] = {}
+        #: per-node belief: node id -> {gateway id -> place label}
+        self.known: dict[int, dict[int, str]] = {n.node_id: {} for n in network.nodes}
+        # Places a node failed to discover this round (don't retry every
+        # packet; cleared when the topology changes at the next round).
+        self._unreachable: dict[int, set[str]] = {n.node_id: set() for n in network.nodes}
+        self._notify_seq = itertools.count(10_000_000)
+
+    # ------------------------------------------------------------------
+    # rounds
+    # ------------------------------------------------------------------
+    def start_round(self, r: int) -> None:
+        """Apply round ``r`` of the schedule: move gateways, send NOTIFYs."""
+        if r != self.current_round + 1:
+            raise RoutingError(f"rounds must advance sequentially (at {self.current_round}, got {r})")
+        self.current_round = r
+        assignment = self.schedule.assignment(r)
+        moved = self.schedule.moved_gateways(r)
+        for blocked in self._unreachable.values():
+            blocked.clear()
+
+        for g, place in assignment.items():
+            self.network.move_node(g, self.schedule.places.position(place))
+            self.gateway_place[g] = place
+
+        if r == 0 and self.bootstrap_known:
+            for node in self.network.nodes:
+                self.known[node.node_id].update(assignment)
+            return
+
+        for g, place in moved.items():
+            # The moving gateway itself always knows where it is.
+            self.known[g][g] = place
+            self._broadcast_notify(g, place, r)
+
+    def _broadcast_notify(self, gateway: int, place: str, r: int) -> None:
+        """Flood the place-change announcement (Section 5.3 step 2)."""
+        seq = next(self._notify_seq)
+        pkt = Packet(
+            kind=PacketKind.NOTIFY,
+            origin=gateway,
+            target=None,
+            payload={"seq": seq, "gw": gateway, "place": place, "round": r},
+            payload_bytes=self.config.control_payload_bytes,
+            ttl=self.config.ttl,
+            created_at=self.sim.now,
+        )
+        pkt = self.decorate_notify(gateway, pkt)
+        self._seen_floods[gateway].add((gateway, seq))
+        self.channel.send(gateway, pkt)
+
+    # -- NOTIFY hooks (SecMLR overrides with μTESLA) ----------------------
+    def decorate_notify(self, gateway: int, packet: Packet) -> Packet:
+        return packet
+
+    def accept_notify(self, node_id: int, packet: Packet) -> bool:
+        """Whether the announcement is authentic (always, unsecured)."""
+        return True
+
+    def apply_notify(self, node_id: int, gw: int, place: str) -> None:
+        self.known[node_id][gw] = place
+
+    def _on_notify(self, node_id: int, pkt: Packet) -> None:
+        key = (pkt.origin, pkt.payload["seq"])
+        if key in self._seen_floods[node_id]:
+            return
+        self._seen_floods[node_id].add(key)
+        if self.accept_notify(node_id, pkt):
+            self.apply_notify(node_id, pkt.payload["gw"], pkt.payload["place"])
+        if pkt.ttl > 1:
+            self._flood_send(
+                node_id, pkt.fork(src=node_id, dst=None, ttl=pkt.ttl - 1, hop_count=pkt.hop_count + 1)
+            )
+
+    # ------------------------------------------------------------------
+    # policy hooks
+    # ------------------------------------------------------------------
+    def entry_key_for(self, gateway_id: int) -> Hashable:
+        place = self.gateway_place.get(gateway_id)
+        if place is None:
+            raise RoutingError(f"gateway {gateway_id} has no place yet; call start_round(0)")
+        return place
+
+    def active_keys(self, node_id: int) -> Optional[Iterable[Hashable]]:
+        return set(self.known[node_id].values())
+
+    def discovery_targets(self, source: int) -> dict[int, Hashable]:
+        """Gateways at believed-occupied places the source has no entry for."""
+        table = self.tables[source]
+        blocked = self._unreachable[source]
+        return {
+            g: place
+            for g, place in self.known[source].items()
+            if place not in table and place not in blocked
+        }
+
+    def gateway_answer_key(self, gateway: int, requested_key: Hashable) -> Hashable:
+        """Gateways answer with their true place, whatever was asked for."""
+        return self.gateway_place.get(gateway, requested_key)
+
+    def gateway_for_key(self, node_id: int, key: Hashable, recorded: int) -> int:
+        for g, place in self.known[node_id].items():
+            if place == key:
+                return g
+        return recorded
+
+    # ------------------------------------------------------------------
+    # discovery: install best response per place, not one overall best
+    # ------------------------------------------------------------------
+    def _finish_discovery(self, source: int, seq: int) -> None:
+        state = self._discovery.get(source)
+        if state is None or state.seq != seq:
+            return
+        if not state.responses:
+            del self._discovery[source]
+            if state.attempts < self.config.max_discovery_attempts:
+                self._schedule_retry(source, state.attempts)
+            else:
+                # Give up on these places for the rest of the round and
+                # fall back to whatever entries already exist.
+                self._unreachable[source].update(str(k) for k in state.targets.values())
+                self._flush_via_existing(source)
+            return
+        by_key: dict[Hashable, RouteEntry] = {}
+        for entry in state.responses:
+            best = by_key.get(entry.key)
+            if best is None or (entry.hops, entry.gateway) < (best.hops, best.gateway):
+                by_key[entry.key] = entry
+        for entry in by_key.values():
+            self.tables[source].install(entry, replace_worse_only=True)
+        # A queried place that still has no entry will never answer this
+        # round (e.g. the belief about it was poisoned and the gateway
+        # answered under its true place): stop re-querying it.
+        for place in state.targets.values():
+            if place not in self.tables[source]:
+                self._unreachable[source].add(str(place))
+        del self._discovery[source]
+        for payload in self._pending_data.pop(source, []):
+            self._dispatch_or_queue(source, payload)
+
+    def _flush_via_existing(self, source: int) -> None:
+        """Drain queued data through already-known routes (or drop)."""
+        pending = self._pending_data.pop(source, [])
+        entry = self.tables[source].best(self.active_keys(source))
+        for payload in pending:
+            if entry is None:
+                self.metrics.on_drop("no_route")
+            else:
+                self._transmit_data(source, entry, payload)
+
+    # ------------------------------------------------------------------
+    # Data dispatch: discover missing active places before selecting
+    # ------------------------------------------------------------------
+    def _dispatch_or_queue(self, source: int, payload) -> None:
+        missing = self.discovery_targets(source)
+        if missing and source not in self._discovery:
+            self._pending_data.setdefault(source, []).append(payload)
+            self._start_discovery(source)
+            return
+        if source in self._discovery:
+            self._pending_data.setdefault(source, []).append(payload)
+            return
+        entry = self.tables[source].best(self.active_keys(source))
+        if entry is not None:
+            self._transmit_data(source, entry, payload)
+            return
+        self.metrics.on_drop("no_route")
+
+    # ------------------------------------------------------------------
+    # introspection (Table 1)
+    # ------------------------------------------------------------------
+    def table_snapshot(self, node_id: int) -> list[tuple[str, int, tuple[int, ...]]]:
+        """Rows of the node's accumulated table: (place, hops, path).
+
+        This is exactly one panel of the paper's Table 1, ordered by place
+        label.
+        """
+        return [
+            (str(e.key), e.hops, e.path)
+            for e in self.tables[node_id].entries()
+        ]
+
+    def selected_place(self, node_id: int) -> Optional[str]:
+        """The place the node would currently route to (min hops, active)."""
+        entry = self.tables[node_id].best(self.active_keys(node_id))
+        return None if entry is None else str(entry.key)

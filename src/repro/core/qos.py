@@ -1,0 +1,176 @@
+"""QoS / load balancing across gateways (Section 4.3).
+
+The paper's scenario: "When data transmission from partial monitoring
+area is too heavy (e.g., a forest fire occurs) ... some gateways in that
+area possibly become over loading. Routing protocols should provide the
+capacity to automatically dispatch parts of traffic to other gateways
+with low load", while other gateways sit in "starvation state".
+
+:class:`LoadBalancedMLR` implements the mechanism on top of MLR:
+
+* every gateway counts the data frames it absorbed in the current round;
+* the per-round NOTIFY (and a lightweight load beacon from unmoved
+  gateways) piggybacks that number, so sensors learn per-gateway load
+  one round behind — the information pattern the paper sketches;
+* route selection minimises ``hops + load_weight * normalised_load``
+  instead of hops alone, so heavily loaded gateways shed *marginal*
+  traffic (sources whose second-best place is almost as close) while
+  nearby sources keep their short routes.
+
+``load_weight = 0`` reduces exactly to MLR (the ablation handle).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Optional
+
+from repro.core.base import ProtocolConfig
+from repro.core.mlr import MLR
+from repro.core.routing_table import RouteEntry
+from repro.exceptions import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.mobility import GatewaySchedule
+from repro.sim.network import Network
+from repro.sim.packet import Packet, PacketKind
+from repro.sim.radio import Channel
+
+__all__ = ["LoadBalancedMLR"]
+
+
+class LoadBalancedMLR(MLR):
+    """MLR with gateway-load-aware route selection (Section 4.3).
+
+    Parameters
+    ----------
+    load_weight:
+        Hops-equivalent penalty of routing to the most loaded gateway.
+        With weight ``w``, a source deviates to a longer route only when
+        the detour costs fewer than ``w * (load difference as a fraction
+        of the round's heaviest load)`` extra hops.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        channel: Channel,
+        schedule: GatewaySchedule,
+        config: Optional[ProtocolConfig] = None,
+        load_weight: float = 2.0,
+        bootstrap_known: bool = True,
+    ) -> None:
+        if load_weight < 0:
+            raise ConfigurationError("load_weight must be non-negative")
+        super().__init__(sim, network, channel, schedule, config, bootstrap_known)
+        self.load_weight = load_weight
+        #: frames absorbed by each gateway in the current round
+        self.round_load: dict[int, int] = {g: 0 for g in network.gateway_ids}
+        #: what sensors believe about last round's load, per node
+        self.known_load: dict[int, dict[int, int]] = {
+            n.node_id: {} for n in network.nodes
+        }
+        self._beacon_seq = itertools.count(30_000_000)
+
+    # ------------------------------------------------------------------
+    # load accounting and dissemination
+    # ------------------------------------------------------------------
+    def _on_data(self, node_id: int, pkt: Packet) -> None:
+        if self.network.nodes[node_id].kind.value == "gateway":
+            self.round_load[node_id] = self.round_load.get(node_id, 0) + 1
+        super()._on_data(node_id, pkt)
+
+    def start_round(self, r: int) -> None:
+        loads = dict(self.round_load)
+        self.round_load = {g: 0 for g in self.network.gateway_ids}
+        super().start_round(r)
+        if r == 0:
+            return
+        # Unmoved gateways still beacon their load (moved ones put it in
+        # their NOTIFY via decorate_notify below).
+        moved = set(self.schedule.moved_gateways(r))
+        for g in self.network.gateway_ids:
+            if g in moved:
+                continue
+            self._broadcast_load_beacon(g, loads.get(g, 0), r)
+
+    def decorate_notify(self, gateway: int, packet: Packet) -> Packet:
+        packet.payload["load"] = self.round_load.get(gateway, 0)
+        return super().decorate_notify(gateway, packet)
+
+    def _broadcast_load_beacon(self, gateway: int, load: int, r: int) -> None:
+        seq = next(self._beacon_seq)
+        pkt = Packet(
+            kind=PacketKind.NOTIFY,
+            origin=gateway,
+            target=None,
+            payload={
+                "seq": seq,
+                "gw": gateway,
+                "place": self.gateway_place[gateway],
+                "round": r,
+                "load": load,
+            },
+            payload_bytes=self.config.control_payload_bytes,
+            ttl=self.config.ttl,
+            created_at=self.sim.now,
+        )
+        self._seen_floods[gateway].add((gateway, seq))
+        self.channel.send(gateway, pkt)
+
+    def apply_notify(self, node_id: int, gw: int, place: str) -> None:
+        super().apply_notify(node_id, gw, place)
+
+    def _on_notify(self, node_id: int, pkt: Packet) -> None:
+        if "load" in pkt.payload:
+            key = (pkt.origin, pkt.payload["seq"])
+            if key not in self._seen_floods[node_id]:
+                self.known_load[node_id][pkt.payload["gw"]] = pkt.payload["load"]
+        super()._on_notify(node_id, pkt)
+
+    # ------------------------------------------------------------------
+    # load-aware selection
+    # ------------------------------------------------------------------
+    def _score(self, node_id: int, entry: RouteEntry) -> float:
+        gw = self.gateway_for_key(node_id, entry.key, entry.gateway)
+        loads = self.known_load[node_id]
+        heaviest = max(loads.values(), default=0)
+        if heaviest <= 0 or self.load_weight == 0:
+            return float(entry.hops)
+        load = loads.get(gw, 0)
+        return entry.hops + self.load_weight * (load / heaviest)
+
+    def _best_entry(self, node_id: int):
+        active = self.active_keys(node_id)
+        table = self.tables[node_id]
+        candidates = [e for e in table.entries() if active is None or e.key in active]
+        return min(candidates, key=lambda e: (self._score(node_id, e), str(e.key)), default=None)
+
+    def _dispatch_or_queue(self, source: int, payload) -> None:
+        missing = self.discovery_targets(source)
+        if missing and source not in self._discovery:
+            self._pending_data.setdefault(source, []).append(payload)
+            self._start_discovery(source)
+            return
+        if source in self._discovery:
+            self._pending_data.setdefault(source, []).append(payload)
+            return
+        entry = self._best_entry(source)
+        if entry is not None:
+            self._transmit_data(source, entry, payload)
+            return
+        self.metrics.on_drop("no_route")
+
+    def _flush_via_existing(self, source: int) -> None:
+        pending = self._pending_data.pop(source, [])
+        entry = self._best_entry(source)
+        for payload in pending:
+            if entry is None:
+                self.metrics.on_drop("no_route")
+            else:
+                self._transmit_data(source, entry, payload)
+
+    # ------------------------------------------------------------------
+    def gateway_loads(self) -> dict[int, int]:
+        """Ground-truth frames absorbed per gateway this round."""
+        return dict(self.round_load)

@@ -1,0 +1,464 @@
+"""SecMLR — secure maximal-lifetime routing (Section 6.2).
+
+SecMLR is MLR hardened with the SNEP/μTESLA toolbox:
+
+Routing query (6.2.1)
+    The RREQ carries, for every destination gateway ``Gj``, the envelope
+    ``{req}<Kij,C>, MAC(Kij, C | {req})`` under the pairwise key of the
+    *claimed* source.  Intermediate nodes only append themselves to the
+    path; they cannot forge or alter the envelope.
+Response (6.2.2)
+    A gateway first verifies origin (MAC) and freshness (counter) and
+    drops failures; then it buffers path copies for a timeout and answers
+    once with the least-hop path, MAC-protected (the path is covered, so
+    en-route alteration is detected by the source).  Every node the RRES
+    traverses installs its route suffix *and* the 4-tuple forwarding
+    entry of Section 6.2.4.
+Routing update (6.2.3)
+    Moved gateways announce their new place with μTESLA-authenticated
+    broadcast; sensors buffer announcements until the interval key is
+    disclosed, then verify and apply.  Forged NOTIFYs die silently.
+Data forwarding (6.2.4)
+    DATA carries the routing information RI = (source, destination,
+    immediate sender, immediate receiver); a node forwards only on an
+    exact 4-tuple match, rewriting IS/IR hop by hop.  The gateway verifies
+    MAC and counter before accepting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Optional
+
+from repro.core.mlr import MLR
+from repro.core.base import ProtocolConfig
+from repro.core.routing_table import ForwardingEntry, RouteEntry
+from repro.exceptions import ConfigurationError
+from repro.security.crypto import (
+    MAC_LENGTH,
+    CounterState,
+    compute_mac,
+    encode_message,
+    encrypt,
+    verify_mac,
+)
+from repro.security.keys import KeyStore
+from repro.security.tesla import TeslaBroadcaster, TeslaMessage, TeslaReceiver
+from repro.sim.engine import Simulator
+from repro.sim.mobility import GatewaySchedule
+from repro.sim.network import Network
+from repro.sim.node import NodeKind
+from repro.sim.packet import Packet, PacketKind
+from repro.sim.radio import Channel
+
+__all__ = ["SecMLR", "ENVELOPE_BYTES"]
+
+#: bytes added to a packet per SNEP envelope (8-byte counter + MAC).
+ENVELOPE_BYTES = 8 + MAC_LENGTH
+
+
+class SecMLR(MLR):
+    """Secure MLR.
+
+    Parameters
+    ----------
+    master_secret:
+        Deployment master secret for :class:`~repro.security.keys.KeyStore`.
+    tesla_interval / tesla_lag / tesla_chain:
+        μTESLA parameters: interval length (seconds), disclosure lag
+        (intervals) and hash-chain length.  The chain must outlast the
+        simulation: ``tesla_chain * tesla_interval`` seconds.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        channel: Channel,
+        schedule: GatewaySchedule,
+        config: Optional[ProtocolConfig] = None,
+        master_secret: bytes = b"wmsn-deployment-master",
+        tesla_interval: float = 0.5,
+        tesla_lag: int = 2,
+        tesla_chain: int = 4096,
+        bootstrap_known: bool = True,
+    ) -> None:
+        if config is None:
+            config = ProtocolConfig(gateway_collect_timeout=0.05)
+        elif config.gateway_collect_timeout <= 0:
+            raise ConfigurationError(
+                "SecMLR requires gateway_collect_timeout > 0 (Section 6.2.2)"
+            )
+        super().__init__(sim, network, channel, schedule, config, bootstrap_known)
+
+        self.keystore = KeyStore(master_secret, network.gateway_ids)
+        #: per-sensor outbound counters toward each gateway
+        self._sensor_counters: dict[int, CounterState] = {
+            s: CounterState() for s in network.sensor_ids
+        }
+        #: per-gateway state: inbound counters (per sensor) and outbound
+        self._gateway_counters: dict[int, CounterState] = {
+            g: CounterState() for g in network.gateway_ids
+        }
+        #: per-sensor inbound counters for RRES verification, keyed by gw
+        self._sensor_in: dict[int, CounterState] = {s: CounterState() for s in network.sensor_ids}
+
+        # μTESLA: one broadcaster per gateway, one receiver per (node, gw).
+        self._tesla_tx: dict[int, TeslaBroadcaster] = {}
+        self._tesla_rx: dict[tuple[int, int], TeslaReceiver] = {}
+        self.tesla_interval = tesla_interval
+        self.tesla_lag = tesla_lag
+        for g in network.gateway_ids:
+            tx = TeslaBroadcaster(
+                sender_id=g,
+                seed=self.keystore.individual_key(g),
+                chain_length=tesla_chain,
+                interval=tesla_interval,
+                start_time=0.0,
+                disclosure_lag=tesla_lag,
+            )
+            self._tesla_tx[g] = tx
+            for node in network.nodes:
+                if node.kind is NodeKind.SENSOR:
+                    self._tesla_rx[(node.node_id, g)] = TeslaReceiver(
+                        commitment=tx.commitment,
+                        interval=tesla_interval,
+                        start_time=0.0,
+                        disclosure_lag=tesla_lag,
+                    )
+        self._disclosure_seq = itertools.count(20_000_000)
+        #: diagnostics for the attack experiments
+        self.rejected = {"bad_mac": 0, "replay": 0, "bad_rres": 0, "bad_notify": 0}
+
+    # ------------------------------------------------------------------
+    # RREQ security (6.2.1)
+    # ------------------------------------------------------------------
+    def decorate_rreq(self, source: int, packet: Packet, targets) -> Packet:
+        envelopes: dict[int, dict] = {}
+        counters = self._sensor_counters[source]
+        for g in targets:
+            key = self.keystore.pairwise_key(source, g)
+            c = counters.next(g)
+            req = {"t": "req", "src": source, "gw": g, "seq": packet.payload["seq"]}
+            ct = encrypt(key, c, encode_message(req))
+            envelopes[g] = {
+                "ctr": c,
+                "ct": ct.hex(),
+                "mac": compute_mac(key, c, ct).hex(),
+                "claimed": source,
+            }
+        packet.payload["sec"] = envelopes
+        packet.payload_bytes += ENVELOPE_BYTES * len(envelopes)
+        return packet
+
+    def gateway_accepts_rreq(self, gateway: int, packet: Packet) -> bool:
+        env = packet.payload.get("sec", {}).get(gateway)
+        if env is None:
+            self.rejected["bad_mac"] += 1
+            self.metrics.on_drop("bad_mac")
+            return False
+        claimed = env["claimed"]
+        key = self.keystore.pairwise_key(claimed, gateway)
+        ct = bytes.fromhex(env["ct"])
+        if not verify_mac(key, env["ctr"], ct, bytes.fromhex(env["mac"])):
+            self.rejected["bad_mac"] += 1
+            self.metrics.on_drop("bad_mac")
+            return False
+        if claimed != packet.origin:
+            # MAC is valid for `claimed` but the flood claims another
+            # origin: spoofed routing information.
+            self.rejected["bad_mac"] += 1
+            self.metrics.on_drop("spoofed")
+            return False
+        if not self._gateway_counters[gateway].accept(("rreq", claimed), env["ctr"], allow_current=True):
+            self.rejected["replay"] += 1
+            self.metrics.on_drop("replay")
+            return False
+        return True
+
+    def _table_answer(self, node_id: int, targets):
+        """Sensors never answer queries in SecMLR.
+
+        Only a gateway holds the pairwise key needed to produce an
+        authentic RRES, so the Property-1 table-answering optimisation of
+        SPR/MLR is structurally impossible here — an intermediate node's
+        answer would be indistinguishable from a sinkhole attack.  This is
+        part of SecMLR's measured overhead (experiment E7).
+        """
+        return None
+
+    # ------------------------------------------------------------------
+    # RRES security (6.2.2) + forwarding-entry installation (6.2.4)
+    # ------------------------------------------------------------------
+    def decorate_rres(self, gateway: int, packet: Packet, origin: int) -> Packet:
+        key = self.keystore.pairwise_key(origin, gateway)
+        c = self._gateway_counters[gateway].next(("rres", origin))
+        res = {
+            "t": "res",
+            "gw": gateway,
+            "key": str(packet.payload["key"]),
+            "path": [int(x) for x in packet.path],
+            "seq": packet.payload["seq"],
+        }
+        ct = encrypt(key, c, encode_message(res))
+        packet.payload["sec_res"] = {
+            "ctr": c,
+            "ct": ct.hex(),
+            "mac": compute_mac(key, c, ct).hex(),
+            "res": res,
+        }
+        packet.payload_bytes += ENVELOPE_BYTES
+        return packet
+
+    def source_accepts_rres(self, source: int, packet: Packet) -> bool:
+        env = packet.payload.get("sec_res")
+        if env is None:
+            self.rejected["bad_rres"] += 1
+            self.metrics.on_drop("bad_mac")
+            return False
+        gateway = packet.payload["gw"]
+        key = self.keystore.pairwise_key(source, gateway)
+        ct = bytes.fromhex(env["ct"])
+        if not verify_mac(key, env["ctr"], ct, bytes.fromhex(env["mac"])):
+            self.rejected["bad_rres"] += 1
+            self.metrics.on_drop("bad_mac")
+            return False
+        # The MAC covers the path; a path altered en route no longer
+        # matches the protected copy.
+        protected = env["res"]
+        if list(packet.path) != protected["path"] or str(packet.payload["key"]) != protected["key"]:
+            self.rejected["bad_rres"] += 1
+            self.metrics.on_drop("altered")
+            return False
+        if not self._sensor_in[source].accept(("rres", gateway), env["ctr"]):
+            self.rejected["replay"] += 1
+            self.metrics.on_drop("replay")
+            return False
+        return True
+
+    def on_rres_hop(self, node_id: int, packet: Packet) -> None:
+        """Install route suffix + 4-tuple at every traversed sensor."""
+        if self.network.nodes[node_id].kind is not NodeKind.SENSOR:
+            return
+        path = packet.path
+        try:
+            i = path.index(node_id)
+        except ValueError:
+            return
+        suffix = RouteEntry(key=packet.payload["key"], gateway=path[-1], path=path[i:])
+        self.tables[node_id].install(suffix, replace_worse_only=True)
+        self.tables[node_id].install_forwarding(
+            ForwardingEntry(
+                source=path[0],
+                destination=path[-1],
+                immediate_sender=path[i - 1] if i > 0 else None,
+                immediate_receiver=path[i + 1] if i + 1 < len(path) else path[-1],
+                route_key=packet.payload["key"],
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # DATA security (6.2.4)
+    # ------------------------------------------------------------------
+    def decorate_data(self, source: int, packet: Packet, entry: RouteEntry) -> Packet:
+        gateway = packet.target
+        key = self.keystore.pairwise_key(source, gateway)
+        c = self._sensor_counters[source].next(gateway)
+        body = {"t": "data", "src": source, "gw": gateway, "data_id": packet.payload["data_id"]}
+        ct = encrypt(key, c, encode_message(body))
+        packet.payload["sec"] = {
+            "ctr": c,
+            "ct": ct.hex(),
+            "mac": compute_mac(key, c, ct).hex(),
+            "claimed": source,
+        }
+        packet.payload_bytes += ENVELOPE_BYTES
+        return packet
+
+    def gateway_accepts_data(self, gateway: int, packet: Packet) -> bool:
+        env = packet.payload.get("sec")
+        if env is None:
+            self.rejected["bad_mac"] += 1
+            self.metrics.on_drop("bad_mac")
+            return False
+        claimed = env["claimed"]
+        key = self.keystore.pairwise_key(claimed, gateway)
+        ct = bytes.fromhex(env["ct"])
+        if not verify_mac(key, env["ctr"], ct, bytes.fromhex(env["mac"])):
+            self.rejected["bad_mac"] += 1
+            self.metrics.on_drop("bad_mac")
+            return False
+        if claimed != packet.origin:
+            self.rejected["bad_mac"] += 1
+            self.metrics.on_drop("spoofed")
+            return False
+        if not self._gateway_counters[gateway].accept(("data", claimed), env["ctr"]):
+            self.rejected["replay"] += 1
+            self.metrics.on_drop("replay")
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # μTESLA NOTIFY (6.2.3)
+    # ------------------------------------------------------------------
+    def decorate_notify(self, gateway: int, packet: Packet) -> Packet:
+        tx = self._tesla_tx[gateway]
+        msg = tx.authenticate(
+            {"gw": gateway, "place": packet.payload["place"], "round": packet.payload["round"]},
+            now=self.sim.now,
+        )
+        packet.payload["tesla"] = {
+            "interval": msg.interval,
+            "mac": msg.mac.hex(),
+            "sender": msg.sender,
+        }
+        packet.payload_bytes += MAC_LENGTH + 4
+        # Schedule the interval-key disclosure flood.
+        when = tx.disclosure_time(msg.interval)
+        self.sim.schedule(max(0.0, when - self.sim.now), self._disclose_key, gateway, msg.interval)
+        return packet
+
+    def accept_notify(self, node_id: int, packet: Packet) -> bool:
+        """Buffer under μTESLA instead of applying immediately."""
+        if self.network.nodes[node_id].kind is not NodeKind.SENSOR:
+            return False
+        tinfo = packet.payload.get("tesla")
+        if tinfo is None:
+            self.rejected["bad_notify"] += 1
+            self.metrics.on_drop("bad_notify")
+            return False
+        gw = packet.payload["gw"]
+        rx = self._tesla_rx.get((node_id, gw))
+        if rx is None:
+            self.rejected["bad_notify"] += 1
+            self.metrics.on_drop("bad_notify")
+            return False
+        msg = TeslaMessage(
+            payload={"gw": gw, "place": packet.payload["place"], "round": packet.payload["round"]},
+            interval=tinfo["interval"],
+            mac=bytes.fromhex(tinfo["mac"]),
+            sender=tinfo["sender"],
+        )
+        if not rx.receive(msg, arrival_time=self.sim.now):
+            self.rejected["bad_notify"] += 1
+            self.metrics.on_drop("bad_notify")
+        # Never apply now — application happens at key disclosure.
+        return False
+
+    def _disclose_key(self, gateway: int, interval: int) -> None:
+        if not self.network.nodes[gateway].alive:
+            return
+        tx = self._tesla_tx[gateway]
+        seq = next(self._disclosure_seq)
+        pkt = Packet(
+            kind=PacketKind.NOTIFY,
+            origin=gateway,
+            target=None,
+            payload={
+                "seq": seq,
+                "disclose": {"gw": gateway, "interval": interval, "key": tx.key_for_interval(interval).hex()},
+                # plain-notify fields absent: handled by _on_notify override
+            },
+            payload_bytes=self.config.control_payload_bytes + 32,
+            ttl=self.config.ttl,
+            created_at=self.sim.now,
+        )
+        self._seen_floods[gateway].add((gateway, seq))
+        self.channel.send(gateway, pkt)
+
+    def _on_notify(self, node_id: int, pkt: Packet) -> None:
+        if "disclose" not in pkt.payload:
+            super()._on_notify(node_id, pkt)
+            return
+        key = (pkt.origin, pkt.payload["seq"])
+        if key in self._seen_floods[node_id]:
+            return
+        self._seen_floods[node_id].add(key)
+        info = pkt.payload["disclose"]
+        rx = self._tesla_rx.get((node_id, info["gw"]))
+        if rx is not None:
+            for payload in rx.disclose(info["interval"], bytes.fromhex(info["key"])):
+                self.apply_notify(node_id, payload["gw"], payload["place"])
+        if pkt.ttl > 1:
+            self._flood_send(
+                node_id, pkt.fork(src=node_id, dst=None, ttl=pkt.ttl - 1, hop_count=pkt.hop_count + 1)
+            )
+
+    # ------------------------------------------------------------------
+    # 4-tuple data forwarding (6.2.4)
+    # ------------------------------------------------------------------
+    def _transmit_data(self, source: int, entry: RouteEntry, payload) -> None:
+        """DATA never needs source routing: 4-tuples were installed by RRES.
+
+        If the 4-tuple chain is missing (e.g. the entry was installed from
+        a source-routed first packet under plain-MLR semantics), fall back
+        to the base behaviour.
+        """
+        gateway = self.gateway_for_key(source, entry.key, entry.gateway)
+        fe = self.tables[source].match_forwarding(source, entry.key)
+        pkt = Packet(
+            kind=PacketKind.DATA,
+            origin=source,
+            target=gateway,
+            path=(),
+            payload={
+                **payload,
+                "key": entry.key,
+                "traversed": [source],
+                "IS": source,
+                "IR": fe.immediate_receiver if fe is not None else entry.next_hop,
+            },
+            payload_bytes=payload["bytes"] + 8,  # RI field of Fig. 6
+            created_at=self.sim.now,
+        )
+        pkt = self.decorate_data(source, pkt, entry)
+        next_hop = pkt.payload["IR"]
+        if entry.hops <= 1:
+            next_hop = gateway
+            pkt.payload["IR"] = gateway
+        self._forward_data(source, pkt, next_hop)
+
+    def _on_data(self, node_id: int, pkt: Packet) -> None:
+        node = self.network.nodes[node_id]
+        if node.kind is NodeKind.GATEWAY:
+            if not self.gateway_accepts_data(node_id, pkt):
+                return
+            self.metrics.on_data_delivered(pkt, node_id, self.sim.now)
+            if self.delivery_callback is not None:
+                self.delivery_callback(pkt, node_id)
+            return
+        # Sensor: exact 4-tuple match required ("Otherwise, it drops the
+        # data packet").
+        fe = self.tables[node_id].match_forwarding(pkt.origin, pkt.payload.get("key"))
+        if fe is None:
+            self.metrics.on_drop("no_route")
+            if self.config.repair_routes:
+                bounce = pkt.fork()
+                bounce.payload["traversed"] = list(pkt.payload.get("traversed", ())) + [node_id]
+                self._report_route_error(node_id, bounce)
+            return
+        if pkt.payload.get("IR") != node_id or pkt.payload.get("IS") != pkt.src:
+            self.metrics.on_drop("misrouted")
+            return
+        traversed = list(pkt.payload.get("traversed", ()))
+        if node_id in traversed or pkt.ttl <= 0:
+            self.metrics.on_drop("loop" if node_id in traversed else "ttl")
+            self.tables[node_id].remove(pkt.payload.get("key"))
+            return
+        traversed.append(node_id)
+        fwd = pkt.fork()
+        fwd.payload["traversed"] = traversed
+        fwd.payload["IS"] = node_id
+        next_hop = fe.immediate_receiver
+        # Re-bind the final hop to the gateway currently at the place.
+        if next_hop == fe.destination:
+            next_hop = self.gateway_for_key(node_id, pkt.payload.get("key"), fe.destination)
+            fwd = fwd.fork(target=next_hop)
+        fwd.payload["IR"] = next_hop
+        self._forward_data(node_id, fwd, next_hop)
+
+    # SecMLR's security-overhead accounting helper -----------------------
+    @property
+    def security_rejections(self) -> dict[str, int]:
+        """Counts of packets rejected by cryptographic checks."""
+        return dict(self.rejected)

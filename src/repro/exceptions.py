@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulator reaches an invalid state."""
+
+
+class TopologyError(ReproError):
+    """Raised when a network topology is invalid for the requested operation.
+
+    Typical causes: a disconnected deployment when connectivity is required,
+    a node id that does not exist, or a gateway placed outside the field.
+    """
+
+
+class RoutingError(ReproError):
+    """Raised when a routing protocol cannot satisfy a request.
+
+    For example: asking for the installed route of a node that never
+    discovered one, or configuring MLR with more gateways than feasible
+    places.
+    """
+
+
+class SecurityError(ReproError):
+    """Raised when a cryptographic verification fails loudly.
+
+    Protocol code normally *drops* packets that fail verification (that is
+    the behaviour the paper specifies); this exception is reserved for API
+    misuse, e.g. asking for a pairwise key that was never provisioned.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Raised when user-supplied configuration is inconsistent."""

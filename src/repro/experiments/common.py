@@ -1,0 +1,223 @@
+"""Shared scenario construction and round-driving for the experiments.
+
+A *scenario* is (simulator, network, channel) plus optional feasible
+places; a *collection round* is the paper's unit of time: gateways hold
+still, every sensor reports ``packets_per_round`` data packets, then the
+next round may move gateways.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import energy_stats
+from repro.exceptions import ConfigurationError, TopologyError
+from repro.sim.energy import EnergyModel
+from repro.sim.engine import Simulator
+from repro.sim.mobility import FeasiblePlaces, GatewaySchedule
+from repro.sim.network import Network, build_sensor_network, uniform_deployment
+from repro.sim.radio import IEEE802154, Channel, RadioConfig
+from repro.sim.trace import MetricsCollector
+
+__all__ = [
+    "Scenario",
+    "ScenarioResult",
+    "default_energy_model",
+    "make_uniform_scenario",
+    "make_grid_scenario",
+    "corner_places",
+    "run_collection_rounds",
+]
+
+
+def default_energy_model() -> EnergyModel:
+    """The first-order radio model with Heinzelman constants."""
+    return EnergyModel()
+
+
+@dataclass
+class Scenario:
+    """A ready-to-run sensor-tier deployment."""
+
+    sim: Simulator
+    network: Network
+    channel: Channel
+    places: Optional[FeasiblePlaces] = None
+
+    @property
+    def metrics(self) -> MetricsCollector:
+        return self.channel.metrics
+
+
+@dataclass
+class ScenarioResult:
+    """Headline numbers of one protocol run (rows of most tables)."""
+
+    name: str
+    delivery_ratio: float
+    mean_hops: float
+    mean_latency: float
+    total_energy: float
+    energy_variance: float
+    lifetime: Optional[float]
+    control_frames: int
+    data_frames: int
+    bytes_sent: int
+    extras: dict = field(default_factory=dict)
+
+    def row(self) -> list:
+        return [
+            self.name,
+            round(self.delivery_ratio, 3),
+            round(self.mean_hops, 2),
+            round(self.mean_latency * 1e3, 2),  # ms
+            self.total_energy,
+            self.energy_variance,
+            "-" if self.lifetime is None else round(self.lifetime, 1),
+            self.control_frames,
+            self.data_frames,
+            self.bytes_sent,
+        ]
+
+    HEADERS = [
+        "protocol",
+        "delivery",
+        "hops",
+        "latency_ms",
+        "energy_J",
+        "variance",
+        "lifetime_s",
+        "ctrl_frames",
+        "data_frames",
+        "bytes",
+    ]
+
+
+def corner_places(field_size: float, inset: float = 0.15) -> FeasiblePlaces:
+    """Five feasible places: four insets from the corners plus the center."""
+    lo, hi = inset * field_size, (1 - inset) * field_size
+    mid = field_size / 2
+    return FeasiblePlaces.from_mapping(
+        {
+            "A": (lo, lo),
+            "B": (hi, hi),
+            "C": (mid, mid),
+            "D": (lo, hi),
+            "E": (hi, lo),
+        }
+    )
+
+
+def make_uniform_scenario(
+    n_sensors: int,
+    field_size: float,
+    gateway_positions: Sequence[Sequence[float]],
+    comm_range: float = 50.0,
+    sensor_battery: float = float("inf"),
+    topology_seed: int = 1,
+    protocol_seed: int = 2,
+    radio: Optional[RadioConfig] = None,
+    energy_model: Optional[EnergyModel] = None,
+    require_connected: bool = True,
+) -> Scenario:
+    """Uniform random deployment with explicit gateway positions."""
+    sensors = uniform_deployment(n_sensors, field_size, seed=topology_seed)
+    network = build_sensor_network(
+        sensors, np.asarray(gateway_positions, dtype=float),
+        comm_range=comm_range, sensor_battery=sensor_battery,
+    )
+    if require_connected and not network.is_collection_connected():
+        raise TopologyError(
+            f"deployment n={n_sensors}, field={field_size}, range={comm_range} "
+            "leaves sensors unreachable; densify or enlarge range"
+        )
+    sim = Simulator(seed=protocol_seed)
+    channel = Channel(sim, network, radio or IEEE802154.ideal(), energy_model, MetricsCollector())
+    return Scenario(sim=sim, network=network, channel=channel)
+
+
+def make_grid_scenario(
+    rows: int,
+    cols: int,
+    spacing: float,
+    gateway_positions: Sequence[Sequence[float]],
+    comm_range: Optional[float] = None,
+    sensor_battery: float = float("inf"),
+    protocol_seed: int = 2,
+    radio: Optional[RadioConfig] = None,
+    energy_model: Optional[EnergyModel] = None,
+) -> Scenario:
+    """Regular grid deployment (deterministic topologies for tests)."""
+    from repro.sim.network import grid_deployment
+
+    sensors = grid_deployment(rows, cols, spacing)
+    rng = comm_range if comm_range is not None else spacing * 1.05
+    network = build_sensor_network(
+        sensors, np.asarray(gateway_positions, dtype=float),
+        comm_range=rng, sensor_battery=sensor_battery,
+    )
+    sim = Simulator(seed=protocol_seed)
+    channel = Channel(sim, network, radio or IEEE802154.ideal(), energy_model, MetricsCollector())
+    return Scenario(sim=sim, network=network, channel=channel)
+
+
+def run_collection_rounds(
+    scenario: Scenario,
+    protocol,
+    num_rounds: int,
+    round_duration: float = 5.0,
+    packets_per_round: int = 1,
+    traffic_offset: float = 2.0,
+    sources: Optional[Sequence[int]] = None,
+    on_round_start: Optional[Callable[[int], None]] = None,
+    stop_on_first_death: bool = False,
+    name: str = "protocol",
+) -> ScenarioResult:
+    """Drive ``num_rounds`` of periodic data collection.
+
+    ``on_round_start(r)`` is where MLR-style protocols move gateways (the
+    default calls ``protocol.start_round(r)`` when the protocol has one).
+    ``traffic_offset`` delays traffic into the round so that round-start
+    control traffic (NOTIFY floods, μTESLA disclosures) settles first.
+    """
+    if num_rounds <= 0 or round_duration <= 0:
+        raise ConfigurationError("num_rounds and round_duration must be positive")
+    sim = scenario.sim
+    network = scenario.network
+    senders = list(sources) if sources is not None else network.sensor_ids
+    starter = on_round_start
+    if starter is None and hasattr(protocol, "start_round"):
+        starter = protocol.start_round
+
+    for r in range(num_rounds):
+        sim.run(until=r * round_duration)
+        if scenario.metrics.first_death is not None and stop_on_first_death:
+            break
+        if starter is not None:
+            starter(r)
+        for k in range(packets_per_round):
+            for i, s in enumerate(senders):
+                # Small deterministic stagger avoids a thundering herd.
+                delay = traffic_offset + k * 1.0 + (i % 97) * 1e-3
+                sim.schedule(delay, protocol.send_data, s)
+        if hasattr(protocol, "flush_round"):
+            sim.schedule(round_duration * 0.9, protocol.flush_round)
+    sim.run()
+
+    m = scenario.metrics
+    e = energy_stats(network)
+    return ScenarioResult(
+        name=name,
+        delivery_ratio=m.delivery_ratio,
+        mean_hops=m.mean_hops,
+        mean_latency=m.mean_latency,
+        total_energy=e["total"],
+        energy_variance=e["variance"],
+        lifetime=m.lifetime,
+        control_frames=m.control_frames,
+        data_frames=m.data_frames,
+        bytes_sent=m.bytes_sent,
+    )

@@ -1,0 +1,152 @@
+"""E9 — robustness: node/gateway failure and self-healing.
+
+Quantifies two architecture claims:
+
+* *no single point of failure* (Section 1/3): kill one sink under the
+  flat architecture and the network is dead; kill one WMG under the
+  multi-gateway architecture and traffic re-routes to the survivors;
+* *self-healing* (Section 7.1): "as a node leaves the network, the
+  remaining nodes automatically re-route their data around the
+  out-of-network node" — measured by delivery ratio before and after a
+  progressive random sensor die-off, with the RERR-based repair of
+  :mod:`repro.core.base` doing the re-routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.baselines.flat import FlatSinkRouting
+from repro.core.spr import SPR
+from repro.experiments.common import corner_places, make_uniform_scenario
+from repro.sim.trace import MetricsCollector
+
+__all__ = ["RobustnessResult", "run_robustness"]
+
+
+@dataclass(frozen=True)
+class RobustnessRow:
+    scenario: str
+    protocol: str
+    delivery_before: float
+    delivery_after: float
+
+    @property
+    def retained(self) -> float:
+        if self.delivery_before == 0:
+            return 0.0
+        return self.delivery_after / self.delivery_before
+
+
+@dataclass(frozen=True)
+class RobustnessResult:
+    rows: list
+
+    def row_for(self, scenario: str, protocol: str) -> RobustnessRow:
+        for r in self.rows:
+            if r.scenario == scenario and r.protocol == protocol:
+                return r
+        raise KeyError((scenario, protocol))
+
+    def format_table(self) -> str:
+        return format_table(
+            ["failure scenario", "protocol", "delivery before", "after", "retained"],
+            [
+                [r.scenario, r.protocol, round(r.delivery_before, 3),
+                 round(r.delivery_after, 3), round(r.retained, 3)]
+                for r in self.rows
+            ],
+            title="E9 — delivery under failures (single sink vs multi-gateway)",
+        )
+
+
+def _phase_delivery(metrics: MetricsCollector, generated_before: int, sent_per_phase: int) -> tuple[float, float]:
+    """Split delivery ratio into before/after-failure phases by data id."""
+    before = {(r.origin, r.uid) for r in metrics.deliveries if r.uid <= generated_before}
+    after = {(r.origin, r.uid) for r in metrics.deliveries if r.uid > generated_before}
+    db = len(before) / sent_per_phase if sent_per_phase else 0.0
+    da = len(after) / sent_per_phase if sent_per_phase else 0.0
+    return min(1.0, db), min(1.0, da)
+
+
+def _run_case(
+    protocol_name: str,
+    failure: str,
+    n_sensors: int,
+    field_size: float,
+    comm_range: float,
+    sensor_kill_fraction: float,
+    seed: int,
+) -> RobustnessRow:
+    places = corner_places(field_size)
+    if protocol_name == "flat-1-sink":
+        gw_positions = [[field_size / 2, field_size / 2]]
+    else:
+        gw_positions = [list(places.position(p)) for p in ("A", "B", "C")]
+    scenario = make_uniform_scenario(
+        n_sensors, field_size, gw_positions,
+        comm_range=comm_range, topology_seed=seed, protocol_seed=seed + 17,
+    )
+    sim, net, ch = scenario.sim, scenario.network, scenario.channel
+    protocol = (FlatSinkRouting if protocol_name == "flat-1-sink" else SPR)(sim, net, ch)
+
+    sensors = net.sensor_ids
+    # phase 1: healthy network
+    for i, s in enumerate(sensors):
+        sim.schedule(0.5 + (i % 53) * 1e-3, protocol.send_data, s)
+    sim.run(until=5.0)
+    generated_before = ch.metrics.data_generated
+
+    # inject failures
+    rng = np.random.default_rng(seed + 23)
+    killed: list[int] = []
+    if failure == "gateway":
+        victim = net.gateway_ids[0]
+        net.nodes[victim].fail()
+        killed.append(victim)
+    elif failure == "sensors":
+        k = max(1, int(sensor_kill_fraction * len(sensors)))
+        for v in rng.choice(sensors, size=k, replace=False):
+            net.nodes[int(v)].fail()
+            killed.append(int(v))
+    else:
+        raise ValueError(failure)
+
+    # phase 2: degraded network (survivors keep reporting)
+    survivors = [s for s in sensors if net.nodes[s].alive]
+    for i, s in enumerate(survivors):
+        sim.schedule(0.5 + (i % 53) * 1e-3, protocol.send_data, s)
+    sim.run()
+
+    before, after = _phase_delivery(ch.metrics, generated_before, len(sensors))
+    # Normalise the after-phase to the survivors that actually sent.
+    after = after * len(sensors) / max(1, len(survivors))
+    return RobustnessRow(
+        scenario=failure,
+        protocol=protocol_name,
+        delivery_before=before,
+        delivery_after=min(1.0, after),
+    )
+
+
+def run_robustness(
+    n_sensors: int = 50,
+    field_size: float = 200.0,
+    comm_range: float = 55.0,
+    sensor_kill_fraction: float = 0.15,
+    seed: int = 5,
+) -> RobustnessResult:
+    """Gateway-loss and sensor-die-off cases for both architectures."""
+    rows = []
+    for failure in ("gateway", "sensors"):
+        for protocol_name in ("flat-1-sink", "SPR-3-gw"):
+            rows.append(
+                _run_case(
+                    protocol_name, failure, n_sensors, field_size,
+                    comm_range, sensor_kill_fraction, seed,
+                )
+            )
+    return RobustnessResult(rows=rows)

@@ -1,0 +1,133 @@
+"""E4 — scalability: hops/latency/energy vs network size, 1 sink vs m gateways.
+
+Quantifies the Section 1/3 claim that the flat single-sink architecture
+scales poorly: "With the expansion of sensor networks, the average number
+of hops between a source sensor node to the single sink become more and
+more, resulting in more energy consumption and transmission delay."
+
+Node density is held constant while the field grows, with one sink at
+the field center vs ``m`` gateways spread over the field.  Expected
+shape: single-sink mean hops grow ~ sqrt(area) while the multi-gateway
+curve grows ~ sqrt(area)/sqrt(m) — the gap widens with size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.baselines.flat import FlatSinkRouting
+from repro.core.spr import SPR
+from repro.experiments.common import make_uniform_scenario, run_collection_rounds
+
+__all__ = ["ScalabilityResult", "run_scalability"]
+
+
+@dataclass(frozen=True)
+class ScalabilityRow:
+    n_sensors: int
+    field_size: float
+    single_hops: float
+    multi_hops: float
+    single_latency: float
+    multi_latency: float
+    single_energy: float
+    multi_energy: float
+
+    @property
+    def hop_ratio(self) -> float:
+        return self.single_hops / self.multi_hops if self.multi_hops else float("inf")
+
+
+@dataclass(frozen=True)
+class ScalabilityResult:
+    rows: list
+    gateways: int
+
+    def format_table(self) -> str:
+        return format_table(
+            ["n", "field_m", "hops 1-sink", f"hops {self.gateways}-gw", "ratio",
+             "lat 1-sink ms", f"lat {self.gateways}-gw ms",
+             "E 1-sink J", f"E {self.gateways}-gw J"],
+            [
+                [r.n_sensors, r.field_size, round(r.single_hops, 2), round(r.multi_hops, 2),
+                 round(r.hop_ratio, 2),
+                 round(r.single_latency * 1e3, 2), round(r.multi_latency * 1e3, 2),
+                 r.single_energy, r.multi_energy]
+                for r in self.rows
+            ],
+            title="E4 — scalability: single sink vs multiple gateways",
+        )
+
+    @property
+    def single_sink_hops_series(self) -> list[float]:
+        return [r.single_hops for r in self.rows]
+
+    @property
+    def multi_gateway_hops_series(self) -> list[float]:
+        return [r.multi_hops for r in self.rows]
+
+
+def _gateway_grid(field_size: float, m: int) -> list[list[float]]:
+    """Spread m gateways evenly (center for m=1; inset grid otherwise)."""
+    if m == 1:
+        return [[field_size / 2, field_size / 2]]
+    side = int(np.ceil(np.sqrt(m)))
+    coords = []
+    for i in range(side):
+        for j in range(side):
+            if len(coords) >= m:
+                break
+            coords.append(
+                [field_size * (i + 0.5) / side, field_size * (j + 0.5) / side]
+            )
+    return coords
+
+
+def run_scalability(
+    sizes: tuple[int, ...] = (50, 100, 200, 400),
+    density: float = 1 / 900.0,  # sensors per m^2 (one per 30x30 m cell)
+    gateways: int = 4,
+    comm_range: float = 55.0,
+    rounds: int = 2,
+    seed: int = 1,
+) -> ScalabilityResult:
+    """Sweep network size at constant density."""
+    rows = []
+    for n in sizes:
+        field = float(np.sqrt(n / density))
+        results = {}
+        for label, gw_count, cls in (
+            ("single", 1, FlatSinkRouting),
+            ("multi", gateways, SPR),
+        ):
+            scenario = make_uniform_scenario(
+                n,
+                field,
+                _gateway_grid(field, gw_count),
+                comm_range=comm_range,
+                topology_seed=seed,
+                protocol_seed=seed + 1,
+            )
+            protocol = cls(scenario.sim, scenario.network, scenario.channel)
+            # Several packets per round amortise the one-time discovery
+            # floods so the energy column reflects steady-state forwarding.
+            results[label] = run_collection_rounds(
+                scenario, protocol, num_rounds=rounds, round_duration=8.0,
+                packets_per_round=5, name=label,
+            )
+        rows.append(
+            ScalabilityRow(
+                n_sensors=n,
+                field_size=round(field, 1),
+                single_hops=results["single"].mean_hops,
+                multi_hops=results["multi"].mean_hops,
+                single_latency=results["single"].mean_latency,
+                multi_latency=results["multi"].mean_latency,
+                single_energy=results["single"].total_energy,
+                multi_energy=results["multi"].total_energy,
+            )
+        )
+    return ScalabilityResult(rows=rows, gateways=gateways)

@@ -1,0 +1,25 @@
+"""The middle tier (wireless mesh backbone) and the Internet bridge.
+
+Section 3.2's architecture has three logical layers; this package builds
+the upper two:
+
+* :mod:`repro.mesh.backbone` — the 802.11 mesh of WMGs and WMRs with
+  link-state routing, self-healing around dead routers;
+* :mod:`repro.mesh.internet` — base stations bridging the mesh to a wired
+  backbone and the remote client endpoint;
+* :mod:`repro.mesh.stack` — :class:`ThreeTierWMSN`, the full
+  sensor → WMG → mesh → base station → Internet pipeline that the
+  architecture experiment (E3) drives end to end.
+"""
+
+from repro.mesh.backbone import MeshBackbone
+from repro.mesh.internet import InternetHost, WiredBackbone
+from repro.mesh.stack import ThreeTierWMSN, EndToEndRecord
+
+__all__ = [
+    "MeshBackbone",
+    "InternetHost",
+    "WiredBackbone",
+    "ThreeTierWMSN",
+    "EndToEndRecord",
+]

@@ -1,0 +1,70 @@
+"""Base-station-to-Internet bridge (the top tier of Fig. 1).
+
+The paper's base stations "connect wireless mesh network with Internet";
+users access sensed data remotely.  Only reachability and latency matter
+to the architecture claims, so the wired segment is an abstract
+store-and-forward pipe with configurable latency and bandwidth, and the
+remote user is an :class:`InternetHost` that records what reached it and
+when.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+from repro.sim.engine import Simulator
+
+__all__ = ["WiredBackbone", "InternetHost", "InternetRecord"]
+
+
+@dataclass(frozen=True)
+class InternetRecord:
+    """One sensed datum as seen by the remote user."""
+
+    data_id: int
+    origin_sensor: int
+    via_gateway: int
+    via_base_station: int
+    sensed_at: float
+    received_at: float
+
+    @property
+    def end_to_end_latency(self) -> float:
+        return self.received_at - self.sensed_at
+
+
+class WiredBackbone:
+    """Fixed-latency, fixed-bandwidth wired pipe from base stations."""
+
+    def __init__(self, sim: Simulator, latency: float = 0.02, bandwidth_bps: float = 100e6) -> None:
+        if latency < 0 or bandwidth_bps <= 0:
+            raise ConfigurationError("latency must be >= 0 and bandwidth positive")
+        self.sim = sim
+        self.latency = latency
+        self.bandwidth_bps = bandwidth_bps
+
+    def deliver(self, host: "InternetHost", record_args: dict, size_bytes: int) -> None:
+        delay = self.latency + (8 * size_bytes) / self.bandwidth_bps
+        self.sim.schedule(delay, host.receive, record_args)
+
+
+class InternetHost:
+    """The remote user consuming sensed data."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.records: list[InternetRecord] = []
+
+    def receive(self, record_args: dict) -> None:
+        self.records.append(InternetRecord(received_at=self.sim.now, **record_args))
+
+    @property
+    def received_count(self) -> int:
+        return len(self.records)
+
+    def mean_latency(self) -> Optional[float]:
+        if not self.records:
+            return None
+        return sum(r.end_to_end_latency for r in self.records) / len(self.records)

@@ -1,0 +1,175 @@
+"""The full three-tier WMSN of Fig. 1, wired end to end.
+
+:class:`ThreeTierWMSN` assembles one sensor network (with its multi-
+gateway routing protocol), the 802.11 mesh backbone, base stations and
+the Internet host, and chains deliveries across tiers:
+
+    sensor --(802.15.4, SPR/MLR/SecMLR)--> WMG
+           --(802.11 mesh, link-state)--> base station
+           --(wired)--> Internet host
+
+Per-tier hops/latency are recorded for every datum, which is how the
+architecture experiment (E3) quantifies the tier split and checks that
+WMGs really do speak both MACs (they appear as sinks in the sensor tier
+*and* as sources in the mesh tier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Type
+
+import numpy as np
+
+from repro.core.base import DiscoveryProtocol, ProtocolConfig
+from repro.core.spr import SPR
+from repro.exceptions import ConfigurationError, TopologyError
+from repro.mesh.backbone import MeshBackbone
+from repro.mesh.internet import InternetHost, WiredBackbone
+from repro.sim.energy import EnergyModel
+from repro.sim.engine import Simulator
+from repro.sim.network import Network, build_sensor_network
+from repro.sim.packet import Packet
+from repro.sim.radio import IEEE802154, IEEE80211, Channel, RadioConfig
+from repro.sim.trace import MetricsCollector
+
+__all__ = ["ThreeTierWMSN", "EndToEndRecord"]
+
+
+@dataclass(frozen=True)
+class EndToEndRecord:
+    """Per-tier accounting of one datum's journey."""
+
+    data_id: int
+    origin_sensor: int
+    gateway: int
+    base_station: Optional[int]
+    sensor_tier_hops: int
+    sensor_tier_latency: float
+    mesh_tier_hops: Optional[int]
+    mesh_tier_latency: Optional[float]
+
+
+class ThreeTierWMSN:
+    """Fig. 1 in executable form.
+
+    Parameters
+    ----------
+    protocol_factory:
+        Builds the sensor-tier protocol, called as
+        ``factory(sim, network, channel)`` — e.g. ``SPR`` itself, or a
+        lambda wiring an MLR schedule.
+    sensor_positions / gateway_positions:
+        Low-tier deployment; gateways appear in *both* tiers at the same
+        coordinates (they speak both MACs, Section 3.2).
+    router_positions / base_station_positions:
+        Mesh-tier-only nodes.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sensor_positions: np.ndarray,
+        gateway_positions: np.ndarray,
+        router_positions: np.ndarray,
+        base_station_positions: np.ndarray,
+        protocol_factory: Callable[[Simulator, Network, Channel], DiscoveryProtocol] = SPR,
+        sensor_radio: RadioConfig = IEEE802154,
+        mesh_radio: RadioConfig = IEEE80211,
+        sensor_battery: float = float("inf"),
+        wired_latency: float = 0.02,
+        energy_model: Optional[EnergyModel] = None,
+    ) -> None:
+        self.sim = sim
+        self.sensor_metrics = MetricsCollector()
+        self.sensor_network = build_sensor_network(
+            sensor_positions, gateway_positions, comm_range=sensor_radio.comm_range,
+            sensor_battery=sensor_battery,
+        )
+        self.sensor_channel = Channel(
+            sim, self.sensor_network, sensor_radio, energy_model, self.sensor_metrics
+        )
+        self.protocol = protocol_factory(sim, self.sensor_network, self.sensor_channel)
+
+        self.mesh = MeshBackbone(
+            sim, gateway_positions, router_positions, base_station_positions, mesh_radio
+        )
+        if not self.mesh.is_connected_to_base():
+            raise TopologyError("mesh backbone does not connect every WMG to a base station")
+
+        self.wired = WiredBackbone(sim, latency=wired_latency)
+        self.internet = InternetHost(sim)
+
+        # Gateway id mapping: sensor-tier gateway k <-> mesh-tier node k
+        # (build_sensor_network appends gateways after sensors; the mesh
+        # backbone numbers them first).
+        self._gw_sensor_to_mesh = {
+            g: k for k, g in enumerate(self.sensor_network.gateway_ids)
+        }
+        self.records: dict[int, EndToEndRecord] = {}
+
+        self.protocol.delivery_callback = self._on_sensor_tier_delivery
+        self.mesh.delivery_callback = self._on_mesh_delivery
+
+    # ------------------------------------------------------------------
+    def send_data(self, sensor: int) -> int:
+        """Application entry: sensor reports one datum toward the Internet."""
+        return self.protocol.send_data(sensor)
+
+    # ------------------------------------------------------------------
+    def _on_sensor_tier_delivery(self, pkt: Packet, gateway: int) -> None:
+        mesh_src = self._gw_sensor_to_mesh[gateway]
+        data_id = pkt.payload.get("data_id", pkt.uid)
+        self.records[data_id] = EndToEndRecord(
+            data_id=data_id,
+            origin_sensor=pkt.origin,
+            gateway=gateway,
+            base_station=None,
+            sensor_tier_hops=pkt.hop_count,
+            sensor_tier_latency=self.sim.now - pkt.created_at,
+            mesh_tier_hops=None,
+            mesh_tier_latency=None,
+        )
+        self.mesh.transmit(
+            mesh_src,
+            None,
+            payload={
+                "data_id": data_id,
+                "origin_sensor": pkt.origin,
+                "gateway": gateway,
+                "sensed_at": pkt.created_at,
+                "mesh_start": self.sim.now,
+            },
+            payload_bytes=pkt.payload_bytes,
+        )
+
+    def _on_mesh_delivery(self, pkt: Packet, base_station: int) -> None:
+        p = pkt.payload
+        rec = self.records.get(p["data_id"])
+        if rec is not None:
+            self.records[p["data_id"]] = EndToEndRecord(
+                data_id=rec.data_id,
+                origin_sensor=rec.origin_sensor,
+                gateway=rec.gateway,
+                base_station=base_station,
+                sensor_tier_hops=rec.sensor_tier_hops,
+                sensor_tier_latency=rec.sensor_tier_latency,
+                mesh_tier_hops=pkt.hop_count,
+                mesh_tier_latency=self.sim.now - p["mesh_start"],
+            )
+        self.wired.deliver(
+            self.internet,
+            {
+                "data_id": p["data_id"],
+                "origin_sensor": p["origin_sensor"],
+                "via_gateway": p["gateway"],
+                "via_base_station": base_station,
+                "sensed_at": p["sensed_at"],
+            },
+            size_bytes=pkt.payload_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    def completed_records(self) -> list[EndToEndRecord]:
+        """Records that traversed both wireless tiers."""
+        return [r for r in self.records.values() if r.mesh_tier_hops is not None]

@@ -1,0 +1,70 @@
+"""Security substrate for SecMLR (Section 6 of the paper).
+
+Implements the building blocks the paper imports from SPINS [31] and
+LEAP [32] with real cryptography from the Python standard library:
+
+* :mod:`repro.security.crypto` — SNEP-style authenticated encryption:
+  SHA-256 CTR keystream cipher, truncated HMAC-SHA256 MACs, and monotonic
+  freshness counters.
+* :mod:`repro.security.keys` — LEAP-style key predistribution: individual,
+  pairwise (sensor, gateway), cluster and group keys, plus the
+  node-capture compromise model.
+* :mod:`repro.security.tesla` — μTESLA authenticated broadcast via
+  one-way hash chains with delayed key disclosure.
+* :mod:`repro.security.attacks` — the network-layer attacks of
+  Karlof & Wagner [29] quoted in Section 2.3, as pluggable node behaviours.
+"""
+
+from repro.security.crypto import (
+    CounterState,
+    MAC_LENGTH,
+    compute_mac,
+    decrypt,
+    derive_key,
+    encode_message,
+    encrypt,
+    verify_mac,
+)
+from repro.security.keys import KeyStore, NodeKeyRing
+from repro.security.tesla import TeslaBroadcaster, TeslaReceiver
+from repro.security.attacks import (
+    AlterationAttacker,
+    Blackhole,
+    HelloFloodAttacker,
+    NodeBehavior,
+    ReplayAttacker,
+    SelectiveForwarder,
+    SinkholeAttacker,
+    SpoofAttacker,
+    SybilAttacker,
+    WormholeEndpoint,
+    WormholeTunnel,
+    compromise,
+)
+
+__all__ = [
+    "MAC_LENGTH",
+    "CounterState",
+    "compute_mac",
+    "decrypt",
+    "derive_key",
+    "encode_message",
+    "encrypt",
+    "verify_mac",
+    "KeyStore",
+    "NodeKeyRing",
+    "TeslaBroadcaster",
+    "TeslaReceiver",
+    "NodeBehavior",
+    "SelectiveForwarder",
+    "Blackhole",
+    "SinkholeAttacker",
+    "ReplayAttacker",
+    "SpoofAttacker",
+    "AlterationAttacker",
+    "HelloFloodAttacker",
+    "SybilAttacker",
+    "WormholeTunnel",
+    "WormholeEndpoint",
+    "compromise",
+]

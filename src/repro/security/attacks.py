@@ -1,0 +1,403 @@
+"""Network-layer attacks against WMSN routing (Sections 2.3 and 6).
+
+The paper claims SecMLR "can resist most of attacks against routing in
+WMSNs", citing the Karlof–Wagner catalogue [29] via [28]: spoofed /
+altered / replayed routing information, selective forwarding, sinkhole,
+sybil, wormholes and HELLO floods.  This module implements each as a
+*node behaviour* attached to a compromised (or foreign) node; the base
+protocol consults the behaviour before normal processing, so the same
+attack code runs identically against MLR (vulnerable) and SecMLR
+(hardened) — which is what the attack matrix experiment (E8) measures.
+
+Behaviour contract (duck-typed, consulted by
+:class:`repro.core.base.DiscoveryProtocol`):
+
+``intercept(node_id, packet, protocol) -> bool``
+    Called on every packet delivered to the compromised node.  Returning
+    True consumes the packet (normal processing skipped).
+``drop_outgoing_data(packet) -> bool``
+    Called when the node is about to forward a DATA frame.
+
+All behaviours count what they did in ``stats`` so experiments can report
+attacker effort alongside victim impact.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from typing import Optional
+
+from repro.sim.node import NodeKind
+from repro.sim.packet import Packet, PacketKind
+
+__all__ = [
+    "NodeBehavior",
+    "SelectiveForwarder",
+    "Blackhole",
+    "SinkholeAttacker",
+    "ReplayAttacker",
+    "SpoofAttacker",
+    "AlterationAttacker",
+    "HelloFloodAttacker",
+    "SybilAttacker",
+    "WormholeTunnel",
+    "WormholeEndpoint",
+    "compromise",
+]
+
+_fake_data_ids = itertools.count(5_000_000)
+_fake_seqs = itertools.count(7_000_000)
+
+
+class NodeBehavior:
+    """Base: a well-behaved node (useful as a no-op control)."""
+
+    def __init__(self) -> None:
+        self.stats: Counter = Counter()
+        self.node_id: Optional[int] = None
+        self.protocol = None
+
+    def attach(self, protocol, node_id: int) -> None:
+        self.protocol = protocol
+        self.node_id = node_id
+
+    def intercept(self, node_id: int, packet: Packet, protocol) -> bool:
+        return False
+
+    def drop_outgoing_data(self, packet: Packet) -> bool:
+        return False
+
+
+def compromise(protocol, node_id: int, behavior: NodeBehavior) -> NodeBehavior:
+    """Attach ``behavior`` to ``node_id`` under ``protocol`` and return it."""
+    behavior.attach(protocol, node_id)
+    protocol.behaviors[node_id] = behavior
+    return behavior
+
+
+class SelectiveForwarder(NodeBehavior):
+    """Selective forwarding: forward some packets, drop the rest [29].
+
+    Subtler than a blackhole — the node participates in routing (so routes
+    keep flowing through it) but silently discards a fraction of the data.
+    """
+
+    def __init__(self, drop_probability: float = 0.5) -> None:
+        super().__init__()
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        self.drop_probability = drop_probability
+
+    def intercept(self, node_id: int, packet: Packet, protocol) -> bool:
+        if packet.kind is PacketKind.DATA and packet.origin != node_id:
+            if protocol.sim.rng.random() < self.drop_probability:
+                self.stats["dropped_data"] += 1
+                protocol.metrics.on_drop("blackhole")
+                return True
+        return False
+
+
+class Blackhole(SelectiveForwarder):
+    """Drop every data packet routed through this node."""
+
+    def __init__(self) -> None:
+        super().__init__(drop_probability=1.0)
+
+
+class SinkholeAttacker(NodeBehavior):
+    """Sinkhole: answer every routing query with an irresistible fake route.
+
+    The attacker claims a 1-hop link to the queried gateway, so sources
+    prefer routes through it — then it swallows the data (sinkhole +
+    blackhole).  Against SecMLR the forged response carries no valid MAC
+    and dies at the source.
+    """
+
+    def intercept(self, node_id: int, packet: Packet, protocol) -> bool:
+        if packet.kind is PacketKind.DATA and packet.origin != node_id:
+            self.stats["swallowed_data"] += 1
+            protocol.metrics.on_drop("blackhole")
+            return True
+        if packet.kind is not PacketKind.RREQ or packet.origin == node_id:
+            return False
+        targets = packet.payload.get("targets", {})
+        if not targets:
+            return False
+        gateway = sorted(targets)[0]
+        key = targets[gateway]
+        fake_path = packet.path + (node_id, gateway)
+        self.stats["forged_rres"] += 1
+        # Hand-craft the response: the attacker has no gateway key, so it
+        # cannot use the protocol's decoration hooks — exactly the point.
+        pos = len(packet.path)  # index of node_id in fake_path
+        forged = Packet(
+            kind=PacketKind.RRES,
+            origin=node_id,
+            target=packet.origin,
+            path=fake_path,
+            payload={
+                "key": key,
+                "gw": gateway,
+                "pos": pos,
+                "seq": packet.payload["seq"],
+            },
+            payload_bytes=8,
+            created_at=protocol.sim.now,
+        )
+        protocol._forward_rres(node_id, forged, pos)
+        return True  # do not re-flood: keep the fake route the fastest
+
+
+class ReplayAttacker(NodeBehavior):
+    """Replayed routing information / data: capture frames, re-inject later.
+
+    SNEP's counters make every replay fail at the gateway; unsecured MLR
+    accepts the duplicates as fresh sensor readings.
+    """
+
+    def __init__(self, delay: float = 1.0, max_captures: int = 200) -> None:
+        super().__init__()
+        self.delay = delay
+        self.max_captures = max_captures
+
+    def intercept(self, node_id: int, packet: Packet, protocol) -> bool:
+        if packet.kind is PacketKind.DATA and packet.origin != node_id:
+            if self.stats["captured"] < self.max_captures:
+                self.stats["captured"] += 1
+                copy = packet.fork()
+                protocol.sim.schedule(self.delay, self._replay, protocol, copy)
+        return False  # forward normally: a stealthy recorder
+
+    def _replay(self, protocol, packet: Packet) -> None:
+        if self.node_id is None or not protocol.network.nodes[self.node_id].alive:
+            return
+        self.stats["replayed"] += 1
+        # Re-process the captured frame as if it had just arrived again:
+        # the copy re-forwards along the normal path carrying its ORIGINAL
+        # security envelope (same counter) — the textbook replay.
+        protocol._on_data(self.node_id, packet.fork())
+
+
+class SpoofAttacker(NodeBehavior):
+    """Spoofed data: inject packets that claim to come from a victim node.
+
+    Without authentication the gateway books the forgeries as real
+    readings; SecMLR's MAC check kills them (the attacker does not hold
+    the victim's pairwise key).
+    """
+
+    def inject(self, victim: int, gateway: int, count: int = 1, spacing: float = 0.05) -> None:
+        """Schedule ``count`` forged packets impersonating ``victim``."""
+        protocol = self.protocol
+        entry = protocol.tables[self.node_id].best(protocol.active_keys(self.node_id))
+        for k in range(count):
+            protocol.sim.schedule(spacing * (k + 1), self._inject_one, victim, gateway, entry)
+
+    def _inject_one(self, victim: int, gateway: int, entry) -> None:
+        protocol = self.protocol
+        if not protocol.network.nodes[self.node_id].alive:
+            return
+        self.stats["forged_data"] += 1
+        payload = {
+            "data_id": next(_fake_data_ids),
+            "bytes": protocol.config.data_payload_bytes,
+            "key": entry.key if entry is not None else None,
+            "traversed": [victim],
+            "forged": True,
+        }
+        pkt = Packet(
+            kind=PacketKind.DATA,
+            origin=victim,  # the lie
+            target=gateway,
+            payload=payload,
+            payload_bytes=protocol.config.data_payload_bytes,
+            created_at=protocol.sim.now,
+        )
+        if entry is not None:
+            pkt = pkt.fork(path=entry.path)
+        # SecMLR packets need RI fields to pass shape checks; fill with
+        # what an attacker would put there.
+        pkt.payload.setdefault("IS", self.node_id)
+        nxt = entry.next_hop if entry is not None else gateway
+        pkt.payload.setdefault("IR", nxt)
+        protocol.channel.send(self.node_id, pkt.with_hop(self.node_id, nxt))
+
+
+class AlterationAttacker(NodeBehavior):
+    """Altered routing information: rewrite RRES paths flowing through.
+
+    The attacker splices itself into (and shortens) the advertised path.
+    MLR installs the corrupt route; SecMLR's path-covering MAC exposes it.
+    """
+
+    def intercept(self, node_id: int, packet: Packet, protocol) -> bool:
+        if packet.kind is not PacketKind.RRES or packet.target == node_id:
+            return False
+        pos = packet.payload.get("pos")
+        if pos is None or pos == 0:
+            return False
+        self.stats["altered_rres"] += 1
+        origin = packet.path[0]
+        gateway = packet.path[-1]
+        fake_path = (origin, node_id, gateway)
+        forged = packet.fork(path=fake_path)
+        forged.payload["pos"] = 1
+        protocol._forward_rres(node_id, forged, 1)
+        return True
+
+
+class HelloFloodAttacker(NodeBehavior):
+    """HELLO flood: a powerful transmitter forges topology announcements.
+
+    Here the announcement that matters is MLR's NOTIFY; the attacker
+    broadcasts a forged "gateway ``gw`` moved to place ``place``" which
+    unsecured sensors believe, steering their traffic to a place with no
+    gateway.  μTESLA receivers (SecMLR) cannot authenticate the forgery
+    and ignore it.
+    """
+
+    def flood(self, gateway: int, place: str, repeat: int = 1, spacing: float = 0.1) -> None:
+        """Broadcast ``repeat`` forged NOTIFYs."""
+        for k in range(repeat):
+            self.protocol.sim.schedule(spacing * k, self._flood_once, gateway, place)
+
+    def _flood_once(self, gateway: int, place: str) -> None:
+        protocol = self.protocol
+        if not protocol.network.nodes[self.node_id].alive:
+            return
+        self.stats["forged_notify"] += 1
+        pkt = Packet(
+            kind=PacketKind.NOTIFY,
+            origin=gateway,  # the lie: claims to be the gateway
+            target=None,
+            payload={
+                "seq": next(_fake_seqs),
+                "gw": gateway,
+                "place": place,
+                "round": getattr(protocol, "current_round", 0),
+            },
+            payload_bytes=protocol.config.control_payload_bytes,
+            ttl=protocol.config.ttl,
+            created_at=protocol.sim.now,
+        )
+        protocol.channel.send(self.node_id, pkt)
+
+
+class SybilAttacker(NodeBehavior):
+    """Sybil: present multiple fabricated identities in routing exchanges.
+
+    Re-floods RREQs with fabricated node ids spliced into the recorded
+    path, so any route discovered through this node contains phantom hops
+    that can never forward.
+    """
+
+    def __init__(self, identities: int = 3, id_base: int = 900_000) -> None:
+        super().__init__()
+        self.identities = identities
+        self.id_base = id_base
+        self._next_fake = itertools.count(id_base)
+
+    def intercept(self, node_id: int, packet: Packet, protocol) -> bool:
+        if packet.kind is not PacketKind.RREQ or packet.origin == node_id:
+            return False
+        flood_key = (packet.origin, packet.payload["seq"])
+        if flood_key in protocol._seen_floods[node_id]:
+            return True
+        protocol._seen_floods[node_id].add(flood_key)
+        fakes = tuple(next(self._next_fake) for _ in range(self.identities))
+        self.stats["sybil_floods"] += 1
+        fwd = packet.fork(
+            path=packet.path + (node_id,) + fakes,
+            src=node_id,
+            dst=None,
+            ttl=packet.ttl - 1,
+            hop_count=packet.hop_count + 1,
+        )
+        protocol.channel.send(node_id, fwd)
+        return True
+
+
+class WormholeTunnel:
+    """Shared out-of-band link between two colluding endpoints.
+
+    Frames captured at one end re-enter the network at the other with
+    negligible delay, making far-apart regions look adjacent.  Combine
+    with data swallowing for the classic wormhole + blackhole.
+    """
+
+    def __init__(self, latency: float = 1e-4) -> None:
+        self.latency = latency
+        self.ends: list["WormholeEndpoint"] = []
+        self.stats: Counter = Counter()
+
+    def register(self, end: "WormholeEndpoint") -> None:
+        if len(self.ends) >= 2:
+            raise ValueError("a wormhole has exactly two endpoints")
+        self.ends.append(end)
+
+    def other_end(self, end: "WormholeEndpoint") -> Optional["WormholeEndpoint"]:
+        for e in self.ends:
+            if e is not end:
+                return e
+        return None
+
+
+class WormholeEndpoint(NodeBehavior):
+    """One mouth of a wormhole."""
+
+    def __init__(self, tunnel: WormholeTunnel, swallow_data: bool = True) -> None:
+        super().__init__()
+        self.tunnel = tunnel
+        self.swallow_data = swallow_data
+        tunnel.register(self)
+
+    def intercept(self, node_id: int, packet: Packet, protocol) -> bool:
+        other = self.tunnel.other_end(self)
+        if other is None or other.node_id is None:
+            return False
+        if packet.kind is PacketKind.RREQ and packet.origin != node_id:
+            flood_key = (packet.origin, packet.payload["seq"])
+            if flood_key in protocol._seen_floods[node_id]:
+                return True
+            protocol._seen_floods[node_id].add(flood_key)
+            self.tunnel.stats["tunneled_rreq"] += 1
+            fwd = packet.fork(
+                path=packet.path + (node_id, other.node_id),
+                src=other.node_id,
+                dst=None,
+                ttl=packet.ttl - 1,
+                hop_count=packet.hop_count + 1,
+            )
+            protocol.sim.schedule(
+                self.tunnel.latency, protocol.channel.send, other.node_id, fwd
+            )
+            return True
+        if packet.kind is PacketKind.RRES:
+            # Shuttle responses across so the fake adjacency holds up.
+            pos = packet.payload.get("pos")
+            path = packet.path
+            if pos is not None and 0 < pos < len(path) and path[pos] == node_id:
+                prev = path[pos - 1]
+                if prev == other.node_id:
+                    self.tunnel.stats["tunneled_rres"] += 1
+                    fwd = packet.fork(src=node_id)
+                    fwd.payload["pos"] = pos - 1
+                    protocol.sim.schedule(
+                        self.tunnel.latency, protocol._on_rres, other.node_id, fwd
+                    )
+                    return True
+            return False
+        if packet.kind is PacketKind.DATA and packet.origin != node_id:
+            if self.swallow_data:
+                self.tunnel.stats["swallowed_data"] += 1
+                protocol.metrics.on_drop("blackhole")
+                return True
+            # Benign wormhole: shuttle the data across the tunnel.
+            fwd = packet.fork(src=node_id)
+            protocol.sim.schedule(
+                self.tunnel.latency, protocol._on_data, other.node_id, fwd
+            )
+            self.tunnel.stats["tunneled_data"] += 1
+            return True
+        return False

@@ -1,0 +1,175 @@
+"""SNEP-style symmetric cryptography (SPINS [31], used by Section 6.2).
+
+The paper writes secured messages as::
+
+    Si -> Gj : {M}<Kij,C>, MAC(Kij, C | {M}<Kij,C>)
+
+i.e. the message is encrypted under the pairwise key ``Kij`` with an
+incremental counter ``C`` (counter-mode semantics: same plaintext never
+yields the same ciphertext), and authenticated by a MAC that *covers the
+counter*, which provides freshness / replay protection without sending a
+nonce.
+
+We realise this with standard-library primitives:
+
+* keystream: ``SHA-256(key | counter | block_index)`` blocks XORed over the
+  plaintext (a textbook CTR construction);
+* MAC: HMAC-SHA256 truncated to :data:`MAC_LENGTH` bytes (SPINS uses 8-byte
+  MACs to keep 802.15.4 frames small);
+* counters: strictly monotonic per (sender, receiver) direction, verified
+  by :class:`CounterState`.
+
+The cipher choice is irrelevant to routing behaviour (see DESIGN.md,
+*Substitutions*): what the experiments exercise is that MACs fail on
+forgery/alteration and counters fail on replay.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import SecurityError
+
+__all__ = [
+    "MAC_LENGTH",
+    "derive_key",
+    "encode_message",
+    "decode_message",
+    "encrypt",
+    "decrypt",
+    "compute_mac",
+    "verify_mac",
+    "CounterState",
+]
+
+#: Truncated MAC length in bytes (SPINS: 8 bytes on constrained radios).
+MAC_LENGTH = 8
+
+_KEY_LENGTH = 32
+_BLOCK = hashlib.sha256().digest_size
+
+
+def derive_key(master: bytes, *context: Any) -> bytes:
+    """Derive a subkey from ``master`` bound to ``context``.
+
+    Uses HMAC-SHA256 as a PRF, the standard extract-and-expand shape; the
+    context items (ints, strings) select e.g. the pairwise key of sensor
+    ``i`` and gateway ``j``: ``derive_key(master, "pairwise", i, j)``.
+    """
+    if not master:
+        raise SecurityError("master key must be non-empty")
+    info = "|".join(str(c) for c in context).encode()
+    return hmac.new(master, info, hashlib.sha256).digest()
+
+
+def encode_message(message: Any) -> bytes:
+    """Deterministically serialise a protocol message for crypto operations.
+
+    JSON with sorted keys and tight separators: identical logical messages
+    always produce identical bytes, so MACs are stable.  Tuples are
+    canonicalised to lists (the protocols re-tuple on decode).
+    """
+    return json.dumps(message, sort_keys=True, separators=(",", ":"), default=_jsonable).encode()
+
+
+def _jsonable(obj: Any) -> Any:
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)
+    raise TypeError(f"cannot encode {type(obj).__name__} in a protocol message")
+
+
+def decode_message(blob: bytes) -> Any:
+    """Inverse of :func:`encode_message` (lists stay lists)."""
+    return json.loads(blob.decode())
+
+
+def _keystream(key: bytes, counter: int, length: int) -> bytes:
+    out = bytearray()
+    block_index = 0
+    prefix = key + struct.pack(">Q", counter & 0xFFFFFFFFFFFFFFFF)
+    while len(out) < length:
+        out.extend(hashlib.sha256(prefix + struct.pack(">I", block_index)).digest())
+        block_index += 1
+    return bytes(out[:length])
+
+
+def encrypt(key: bytes, counter: int, plaintext: bytes) -> bytes:
+    """CTR-mode encryption ``{plaintext}<key, counter>``."""
+    if len(key) != _KEY_LENGTH:
+        raise SecurityError(f"key must be {_KEY_LENGTH} bytes, got {len(key)}")
+    if counter < 0:
+        raise SecurityError("counter must be non-negative")
+    stream = _keystream(key, counter, len(plaintext))
+    return bytes(a ^ b for a, b in zip(plaintext, stream))
+
+
+def decrypt(key: bytes, counter: int, ciphertext: bytes) -> bytes:
+    """CTR decryption (identical to encryption — XOR keystream)."""
+    return encrypt(key, counter, ciphertext)
+
+
+def compute_mac(key: bytes, counter: int, data: bytes) -> bytes:
+    """``MAC(key, C | data)`` — truncated HMAC-SHA256 covering the counter."""
+    if len(key) != _KEY_LENGTH:
+        raise SecurityError(f"key must be {_KEY_LENGTH} bytes, got {len(key)}")
+    body = struct.pack(">Q", counter & 0xFFFFFFFFFFFFFFFF) + data
+    return hmac.new(key, body, hashlib.sha256).digest()[:MAC_LENGTH]
+
+
+def verify_mac(key: bytes, counter: int, data: bytes, tag: bytes) -> bool:
+    """Constant-time verification of :func:`compute_mac` output."""
+    return hmac.compare_digest(compute_mac(key, counter, data), tag)
+
+
+@dataclass
+class CounterState:
+    """Per-direction monotonic counter bookkeeping (SNEP freshness).
+
+    The sender calls :meth:`next`, the receiver :meth:`accept`.  The
+    receiver accepts only strictly increasing counters per peer, which
+    rejects replays; a bounded forward window rejects absurd jumps (which
+    would otherwise let an attacker burn the counter space).
+    """
+
+    window: int = 1 << 20
+    _next_out: dict[Any, int] = field(default_factory=dict)
+    _last_in: dict[Any, int] = field(default_factory=dict)
+
+    def next(self, peer: Any) -> int:
+        """Counter value to use for the next message to ``peer``."""
+        value = self._next_out.get(peer, 0)
+        self._next_out[peer] = value + 1
+        return value
+
+    def peek(self, peer: Any) -> int:
+        """Next outbound counter without consuming it."""
+        return self._next_out.get(peer, 0)
+
+    def accept(self, peer: Any, counter: int, allow_current: bool = False) -> bool:
+        """Validate an inbound counter; updates state only when accepted.
+
+        ``allow_current`` additionally accepts a counter *equal* to the
+        last accepted one.  Flooded queries reach a gateway as several
+        copies of one message (one per neighbor, each a distinct path);
+        those duplicates carry the same counter and are legitimate, while
+        anything *below* the high-water mark is a replay of an old
+        message and is always rejected.
+        """
+        last = self._last_in.get(peer, -1)
+        if counter == last and allow_current:
+            return True
+        if counter <= last:
+            return False  # replayed or reordered stale message
+        if counter - last > self.window:
+            return False  # implausible jump
+        self._last_in[peer] = counter
+        return True
+
+    def last_accepted(self, peer: Any) -> int:
+        """Highest inbound counter accepted from ``peer`` (-1 if none)."""
+        return self._last_in.get(peer, -1)

@@ -1,0 +1,128 @@
+"""LEAP-style key predistribution (Section 2.3 / Section 6.2 assumptions).
+
+The paper assumes "each sensor node be pre-distributed secret keys, each
+shared with a gateway" — the pairwise keys ``Kij``.  We implement the full
+LEAP [32] key hierarchy so experiments can also reason about compromise
+blast radius:
+
+* **individual key** — shared between a node and the base station;
+* **pairwise keys** — one per (sensor ``i``, gateway ``j``) pair: the
+  ``Kij`` of SecMLR;
+* **cluster key** — shared by a node with its one-hop neighborhood;
+* **group key** — shared network-wide (e.g. for non-sensitive broadcast).
+
+All keys derive deterministically from one master secret held by the
+deployment authority (:class:`KeyStore`), so both endpoints of a pair
+compute the same key without any exchange — the a-priori distribution the
+paper cites from [38].  Capturing a node (:meth:`KeyStore.compromise`)
+reveals exactly the keys stored on it and nothing else, which is the LEAP
+containment property the attack experiments verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.exceptions import SecurityError
+from repro.security.crypto import derive_key
+
+__all__ = ["NodeKeyRing", "KeyStore"]
+
+
+@dataclass(frozen=True)
+class NodeKeyRing:
+    """The key material physically stored on one sensor node.
+
+    This is what an adversary obtains by capturing the node ("attackers
+    can capture a sensor and acquire all the information stored within
+    it", Section 6.1).
+    """
+
+    node_id: int
+    individual: bytes
+    pairwise: dict[int, bytes]  # gateway id -> Kij
+    cluster: bytes
+    group: bytes
+
+    def pairwise_with(self, gateway_id: int) -> bytes:
+        try:
+            return self.pairwise[gateway_id]
+        except KeyError:
+            raise SecurityError(
+                f"node {self.node_id} holds no pairwise key for gateway {gateway_id}"
+            ) from None
+
+
+class KeyStore:
+    """Deployment authority: derives and hands out every key in the network.
+
+    Parameters
+    ----------
+    master:
+        The deployment master secret.  Experiments derive it from a seed;
+        its entropy is irrelevant to what is being measured.
+    gateway_ids:
+        Gateways for which every sensor receives a pairwise key.
+    """
+
+    def __init__(self, master: bytes, gateway_ids: Iterable[int]) -> None:
+        if not master:
+            raise SecurityError("master secret must be non-empty")
+        self._master = master
+        self._gateway_ids = sorted(int(g) for g in gateway_ids)
+        self._compromised: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+    @property
+    def gateway_ids(self) -> list[int]:
+        return list(self._gateway_ids)
+
+    @property
+    def group_key(self) -> bytes:
+        return derive_key(self._master, "group")
+
+    def individual_key(self, node_id: int) -> bytes:
+        return derive_key(self._master, "individual", node_id)
+
+    def pairwise_key(self, sensor_id: int, gateway_id: int) -> bytes:
+        """``Kij`` — symmetric key shared by sensor ``i`` and gateway ``j``."""
+        if gateway_id not in self._gateway_ids:
+            raise SecurityError(f"{gateway_id} is not a provisioned gateway")
+        return derive_key(self._master, "pairwise", sensor_id, gateway_id)
+
+    def cluster_key(self, node_id: int) -> bytes:
+        return derive_key(self._master, "cluster", node_id)
+
+    def ring_for(self, node_id: int) -> NodeKeyRing:
+        """Provision the full key ring stored on sensor ``node_id``."""
+        return NodeKeyRing(
+            node_id=node_id,
+            individual=self.individual_key(node_id),
+            pairwise={g: self.pairwise_key(node_id, g) for g in self._gateway_ids},
+            cluster=self.cluster_key(node_id),
+            group=self.group_key,
+        )
+
+    # ------------------------------------------------------------------
+    # compromise model
+    # ------------------------------------------------------------------
+    def compromise(self, node_id: int) -> NodeKeyRing:
+        """Model physical capture of ``node_id``: returns its key ring."""
+        self._compromised.add(node_id)
+        return self.ring_for(node_id)
+
+    @property
+    def compromised_nodes(self) -> set[int]:
+        return set(self._compromised)
+
+    def adversary_knows_pairwise(self, sensor_id: int, gateway_id: int) -> bool:
+        """Whether captured material includes ``Kij`` for this exact pair.
+
+        LEAP containment: capturing node ``a`` never reveals the pairwise
+        key of a *different* sensor ``i`` — so an adversary can only forge
+        traffic as the nodes it actually captured.
+        """
+        return sensor_id in self._compromised and gateway_id in self._gateway_ids

@@ -1,0 +1,201 @@
+"""μTESLA authenticated broadcast (SPINS [31]; used in Section 6.2.3).
+
+MLR gateways that move "broadcast their new places, using TESLA protocol
+to achieve authenticated broadcast".  μTESLA makes a broadcast
+authenticatable by resource-poor receivers using only symmetric
+primitives:
+
+1. The sender builds a one-way hash chain ``K_n -> K_{n-1} -> ... -> K_0``
+   (``K_{i-1} = H(K_i)``) and distributes the *commitment* ``K_0``.
+2. Time is divided into intervals of length ``interval``.  A message sent
+   during interval ``i`` is MACed with ``K_i`` — which is still secret.
+3. ``disclosure_lag`` intervals later the sender discloses ``K_i``.
+   Receivers (a) check the *security condition* — the message arrived
+   before ``K_i`` could have been disclosed, so no adversary could have
+   known the key when the message was sent; (b) authenticate the disclosed
+   key against the chain (``H^(i-j)(K_i) == K_j`` for the last
+   authenticated ``K_j``); and (c) only then verify buffered MACs.
+
+The disclosure lag is the price of broadcast authentication: NOTIFY
+messages are actionable only one lag after arrival, which experiment E10
+measures as routing-update latency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.exceptions import SecurityError
+from repro.security.crypto import MAC_LENGTH, encode_message
+
+__all__ = ["TeslaBroadcaster", "TeslaReceiver", "TeslaMessage"]
+
+
+def _h(data: bytes) -> bytes:
+    return hashlib.sha256(data).digest()
+
+
+def _mac(key: bytes, data: bytes) -> bytes:
+    return hmac.new(key, data, hashlib.sha256).digest()[:MAC_LENGTH]
+
+
+@dataclass(frozen=True)
+class TeslaMessage:
+    """An authenticated-broadcast message as it travels on the air."""
+
+    payload: Any
+    interval: int
+    mac: bytes
+    sender: int
+
+
+class TeslaBroadcaster:
+    """Sender side: owns the hash chain and discloses keys on schedule."""
+
+    def __init__(
+        self,
+        sender_id: int,
+        seed: bytes,
+        chain_length: int,
+        interval: float,
+        start_time: float = 0.0,
+        disclosure_lag: int = 2,
+    ) -> None:
+        if chain_length < 2:
+            raise SecurityError("chain_length must be at least 2")
+        if interval <= 0 or disclosure_lag < 1:
+            raise SecurityError("interval must be positive and disclosure_lag >= 1")
+        self.sender_id = sender_id
+        self.interval = interval
+        self.start_time = start_time
+        self.disclosure_lag = disclosure_lag
+        # chain[i] = K_i, with K_{i-1} = H(K_i); chain[0] is the commitment.
+        chain = [b""] * (chain_length + 1)
+        chain[chain_length] = _h(seed + b"tesla-root")
+        for i in range(chain_length, 0, -1):
+            chain[i - 1] = _h(chain[i])
+        self._chain = chain
+        self.chain_length = chain_length
+
+    # ------------------------------------------------------------------
+    @property
+    def commitment(self) -> bytes:
+        """``K_0`` — distributed to receivers at bootstrap."""
+        return self._chain[0]
+
+    def interval_at(self, now: float) -> int:
+        """Index of the interval containing time ``now``."""
+        if now < self.start_time:
+            raise SecurityError("time precedes the TESLA epoch")
+        return int((now - self.start_time) / self.interval)
+
+    def key_for_interval(self, i: int) -> bytes:
+        if not 1 <= i <= self.chain_length:
+            raise SecurityError(f"interval {i} outside chain (1..{self.chain_length})")
+        return self._chain[i]
+
+    def authenticate(self, payload: Any, now: float) -> TeslaMessage:
+        """MAC ``payload`` with the (still secret) key of the current interval."""
+        i = self.interval_at(now)
+        if i < 1:
+            i = 1  # interval 0 is reserved for the commitment bootstrap
+        key = self.key_for_interval(i)
+        return TeslaMessage(
+            payload=payload,
+            interval=i,
+            mac=_mac(key, encode_message(payload)),
+            sender=self.sender_id,
+        )
+
+    def disclosable_key(self, now: float) -> Optional[tuple[int, bytes]]:
+        """The newest ``(interval, key)`` safe to disclose at ``now``."""
+        i = self.interval_at(now) - self.disclosure_lag
+        if i < 1:
+            return None
+        i = min(i, self.chain_length)
+        return i, self.key_for_interval(i)
+
+    def disclosure_time(self, interval: int) -> float:
+        """Earliest time the key of ``interval`` may be disclosed."""
+        return self.start_time + (interval + self.disclosure_lag) * self.interval
+
+
+class TeslaReceiver:
+    """Receiver side: buffers messages until their interval key is disclosed."""
+
+    def __init__(
+        self,
+        commitment: bytes,
+        interval: float,
+        start_time: float = 0.0,
+        disclosure_lag: int = 2,
+        max_clock_skew: float = 0.0,
+    ) -> None:
+        self._last_key = commitment
+        self._last_interval = 0
+        self.interval = interval
+        self.start_time = start_time
+        self.disclosure_lag = disclosure_lag
+        self.max_clock_skew = max_clock_skew
+        self._buffer: list[tuple[TeslaMessage, float]] = []
+
+    # ------------------------------------------------------------------
+    def security_condition(self, msg: TeslaMessage, arrival_time: float) -> bool:
+        """True iff the message arrived before its key could be disclosed."""
+        disclosure = self.start_time + (msg.interval + self.disclosure_lag) * self.interval
+        return arrival_time + self.max_clock_skew < disclosure
+
+    def receive(self, msg: TeslaMessage, arrival_time: float) -> bool:
+        """Buffer an incoming broadcast; returns False if it is unsafe.
+
+        A message failing the security condition is discarded — an
+        adversary holding the already-disclosed key could have forged it.
+        """
+        if not self.security_condition(msg, arrival_time):
+            return False
+        self._buffer.append((msg, arrival_time))
+        return True
+
+    @property
+    def pending(self) -> int:
+        return len(self._buffer)
+
+    def disclose(self, interval: int, key: bytes) -> list[Any]:
+        """Process a disclosed key; returns payloads newly authenticated.
+
+        The key itself is authenticated against the last known chain value
+        (``H^(interval - last) (key) == last_key``); a forged key is
+        rejected and nothing is released.
+        """
+        if interval <= self._last_interval:
+            return []  # stale disclosure (rebroadcast), already consumed
+        # Walk the chain back to the last authenticated key, collecting the
+        # intermediate keys: disclosing K_i also authenticates every skipped
+        # interval j in (last, i) because K_j = H^(i-j)(K_i).
+        keys_by_interval: dict[int, bytes] = {interval: key}
+        probe = key
+        for j in range(interval - 1, self._last_interval, -1):
+            probe = _h(probe)
+            keys_by_interval[j] = probe
+        anchor = _h(keys_by_interval[self._last_interval + 1])
+        if anchor != self._last_key:
+            return []  # key does not belong to the chain: forged
+        self._last_key = key
+        self._last_interval = interval
+
+        released: list[Any] = []
+        keep: list[tuple[TeslaMessage, float]] = []
+        for msg, arrived in self._buffer:
+            k = keys_by_interval.get(msg.interval)
+            if k is not None:
+                if hmac.compare_digest(_mac(k, encode_message(msg.payload)), msg.mac):
+                    released.append(msg.payload)
+                # wrong MAC: forged message, silently dropped
+            elif msg.interval > interval:
+                keep.append((msg, arrived))
+            # else: interval older than last authentication point -> dropped
+        self._buffer = keep
+        return released

@@ -1,0 +1,176 @@
+"""Discrete-event simulation engine.
+
+A deliberately small, deterministic event engine: a binary heap of timed
+events with a monotonically increasing tie-break counter so that events
+scheduled at the same simulated time fire in scheduling order.  All
+randomness used by higher layers flows through :attr:`Simulator.rng`, a
+``numpy.random.Generator`` seeded at construction, which makes every
+simulation reproducible from ``(topology seed, protocol seed)``.
+
+The engine is single-threaded on purpose.  Per the optimisation guidance in
+the HPC coding guides, the engine is kept simple and legible; the hot paths
+that matter (neighbor-set computation, flood fan-out) are vectorised in
+:mod:`repro.sim.network`, not here.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+
+__all__ = ["Event", "Simulator"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, seq)``; ``seq`` is a global counter so
+    simultaneous events preserve FIFO scheduling order.  ``fn`` and ``args``
+    are excluded from comparisons.
+    """
+
+    time: float
+    seq: int
+    fn: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulator's random generator.  Two simulators built
+        with the same seed and fed the same schedule of events produce
+        bit-identical runs.
+
+    Examples
+    --------
+    >>> sim = Simulator(seed=7)
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "a")
+    >>> _ = sim.schedule(0.5, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    >>> sim.now
+    1.5
+    """
+
+    def __init__(self, seed: int | None = 0) -> None:
+        self._queue: list[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self._events_processed = 0
+        self.rng: np.random.Generator = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (diagnostic)."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which can be cancelled.  A negative
+        delay is a programming error and raises :class:`SimulationError`.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        ev = Event(self._now + delay, next(self._counter), fn, args)
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def schedule_at(self, when: float, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulated time ``when``."""
+        return self.schedule(when - self._now, fn, *args)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns ``True`` if an event ran, ``False`` if the queue was empty.
+        Cancelled events are discarded without running.
+        """
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            if ev.time < self._now:
+                raise SimulationError(
+                    f"event queue corrupted: event at t={ev.time} < now={self._now}"
+                )
+            self._now = ev.time
+            self._events_processed += 1
+            ev.fn(*ev.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run events in time order.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event lies strictly beyond this time; the
+            clock is then advanced to ``until`` (so repeated ``run(until=t)``
+            calls behave like a progressing wall clock).
+        max_events:
+            Safety valve for runaway protocols: stop after this many events.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                nxt = self._queue[0]
+                if nxt.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and nxt.time > until:
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                self.step()
+                processed += 1
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def clear(self) -> None:
+        """Drop all pending events (the clock is left where it is)."""
+        self._queue.clear()

@@ -1,0 +1,154 @@
+"""Gateway mobility: feasible places and round schedules.
+
+MLR's network model (Section 5.3) restricts gateway positions to a finite
+set of *feasible places* ``P``; in each round exactly ``m`` of them host a
+gateway, and between rounds some gateways move to different places.  A
+:class:`GatewaySchedule` is the full plan — which gateway sits where in
+which round — and is what the MLR protocol and the Table 1 reproduction
+consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["FeasiblePlaces", "GatewaySchedule"]
+
+
+@dataclass(frozen=True)
+class FeasiblePlaces:
+    """The labelled set ``P`` of positions where gateways may be deployed.
+
+    The paper's Table 1 example uses five places labelled A-E with three
+    gateways; :func:`repro.experiments.table1_mlr` builds exactly that.
+    """
+
+    labels: tuple[str, ...]
+    coordinates: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.labels) != len(self.coordinates):
+            raise ConfigurationError("labels and coordinates must have equal length")
+        if len(set(self.labels)) != len(self.labels):
+            raise ConfigurationError("place labels must be unique")
+
+    @classmethod
+    def from_mapping(cls, places: Mapping[str, tuple[float, float]]) -> "FeasiblePlaces":
+        labels = tuple(places.keys())
+        return cls(labels=labels, coordinates=tuple(tuple(map(float, places[l])) for l in labels))
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self.labels
+
+    def position(self, label: str) -> tuple[float, float]:
+        """Coordinates of place ``label``."""
+        try:
+            return self.coordinates[self.labels.index(label)]
+        except ValueError:
+            raise ConfigurationError(f"unknown feasible place: {label!r}") from None
+
+
+@dataclass
+class GatewaySchedule:
+    """Round-by-round assignment of gateways to feasible places.
+
+    ``rounds[r]`` maps gateway node id to the place label it occupies in
+    round ``r``.  Every round must deploy each gateway at a distinct place.
+    """
+
+    places: FeasiblePlaces
+    rounds: list[dict[int, str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for r, assignment in enumerate(self.rounds):
+            self._validate(assignment, r)
+
+    def _validate(self, assignment: Mapping[int, str], r: int) -> None:
+        labels = list(assignment.values())
+        if len(set(labels)) != len(labels):
+            raise ConfigurationError(f"round {r}: two gateways share one place")
+        for label in labels:
+            if label not in self.places:
+                raise ConfigurationError(f"round {r}: unknown place {label!r}")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    def assignment(self, r: int) -> dict[int, str]:
+        """Gateway → place mapping for round ``r``."""
+        return dict(self.rounds[r])
+
+    def moved_gateways(self, r: int) -> dict[int, str]:
+        """Gateways whose place differs from round ``r - 1`` (all in round 0).
+
+        Per Section 5.3: only *moved* gateways notify the sensors, so this
+        is exactly the set of NOTIFY broadcasts at the start of round ``r``.
+        """
+        current = self.rounds[r]
+        if r == 0:
+            return dict(current)
+        previous = self.rounds[r - 1]
+        return {g: p for g, p in current.items() if previous.get(g) != p}
+
+    def places_covered_by(self, r: int) -> set[str]:
+        """Labels that hosted a gateway in any round up to and including ``r``."""
+        covered: set[str] = set()
+        for assignment in self.rounds[: r + 1]:
+            covered.update(assignment.values())
+        return covered
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def rotating(
+        cls,
+        places: FeasiblePlaces,
+        gateway_ids: Sequence[int],
+        num_rounds: int,
+        seed: int | None = 0,
+        moves_per_round: int = 1,
+    ) -> "GatewaySchedule":
+        """Generate a schedule that eventually covers every feasible place.
+
+        Round 0 deploys gateways on the first ``m`` places; each later round
+        moves ``moves_per_round`` randomly chosen gateways to randomly
+        chosen currently-unoccupied places, preferring places never yet
+        covered (so MLR's accumulated tables converge to ``|P|`` entries as
+        the paper describes).
+        """
+        m = len(gateway_ids)
+        if m > len(places):
+            raise ConfigurationError("more gateways than feasible places")
+        if num_rounds <= 0:
+            raise ConfigurationError("num_rounds must be positive")
+        rng = np.random.default_rng(seed)
+        gateway_ids = list(gateway_ids)
+
+        current = {g: places.labels[i] for i, g in enumerate(gateway_ids)}
+        rounds = [dict(current)]
+        covered = set(current.values())
+        for _ in range(1, num_rounds):
+            occupied = set(current.values())
+            free = [l for l in places.labels if l not in occupied]
+            movers = list(rng.choice(gateway_ids, size=min(moves_per_round, m), replace=False))
+            for g in movers:
+                if not free:
+                    break
+                uncovered = [l for l in free if l not in covered]
+                pool = uncovered if uncovered else free
+                dest = str(rng.choice(pool))
+                free.remove(dest)
+                free.append(current[int(g)])
+                current[int(g)] = dest
+                covered.add(dest)
+            rounds.append(dict(current))
+        return cls(places=places, rounds=rounds)

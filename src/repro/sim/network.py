@@ -1,0 +1,217 @@
+"""Topology container and deployment generators.
+
+A :class:`Network` owns node positions (NumPy arrays, so neighbor sets are
+computed with vectorised distance math — the one genuinely hot path in the
+substrate), the :class:`~repro.sim.node.Node` objects, and the symmetric
+one-hop link relation of the paper's network model (Section 5.1):
+
+    ``G(V, E)`` with ``V = V_S ∪ V_G`` and an edge wherever two nodes can
+    immediately communicate — here, wherever their distance is at most the
+    communication range.
+
+Gateways may move between rounds (Section 5.1: sensors static, gateways
+discretely mobile), which invalidates the cached neighbor sets.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.exceptions import ConfigurationError, TopologyError
+from repro.sim.energy import EnergyAccount
+from repro.sim.node import Node, NodeKind
+
+__all__ = [
+    "Network",
+    "uniform_deployment",
+    "grid_deployment",
+    "build_sensor_network",
+]
+
+
+class Network:
+    """Positions, nodes and the one-hop neighbor relation.
+
+    Parameters
+    ----------
+    positions:
+        ``(n, 2)`` array of node coordinates in meters.
+    kinds:
+        Node kind per row of ``positions``.
+    comm_range:
+        Symmetric communication range defining one-hop links.
+    sensor_battery:
+        Initial battery (J) of each SENSOR node; ``math.inf`` gives the
+        idealised unlimited-energy setting used by the worked examples.
+        Non-sensor kinds are always mains powered.
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        kinds: Sequence[NodeKind],
+        comm_range: float = 40.0,
+        sensor_battery: float = math.inf,
+    ) -> None:
+        positions = np.asarray(positions, dtype=float)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ConfigurationError("positions must be an (n, 2) array")
+        if len(kinds) != len(positions):
+            raise ConfigurationError("kinds and positions must have equal length")
+        if comm_range <= 0:
+            raise ConfigurationError("comm_range must be positive")
+
+        self.positions = positions.copy()
+        self.comm_range = float(comm_range)
+        self.nodes: list[Node] = []
+        for i, kind in enumerate(kinds):
+            capacity = sensor_battery if kind is NodeKind.SENSOR else math.inf
+            self.nodes.append(Node(node_id=i, kind=kind, energy=EnergyAccount(capacity=capacity)))
+        self._neighbor_cache: Optional[list[np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def sensor_ids(self) -> list[int]:
+        """Ids of all SENSOR nodes."""
+        return [n.node_id for n in self.nodes if n.kind is NodeKind.SENSOR]
+
+    @property
+    def gateway_ids(self) -> list[int]:
+        """Ids of all GATEWAY (WMG) nodes."""
+        return [n.node_id for n in self.nodes if n.kind is NodeKind.GATEWAY]
+
+    def ids_of_kind(self, kind: NodeKind) -> list[int]:
+        return [n.node_id for n in self.nodes if n.kind is kind]
+
+    def distance(self, i: int, j: int) -> float:
+        """Euclidean distance between nodes ``i`` and ``j`` in meters."""
+        d = self.positions[i] - self.positions[j]
+        return float(math.hypot(d[0], d[1]))
+
+    # ------------------------------------------------------------------
+    # neighbor sets (vectorised, cached)
+    # ------------------------------------------------------------------
+    def _build_neighbor_cache(self) -> list[np.ndarray]:
+        pos = self.positions
+        # Pairwise squared distances via broadcasting; n is at most a few
+        # thousand in every experiment so the O(n^2) matrix is cheap and
+        # far faster than per-pair Python loops.
+        diff = pos[:, None, :] - pos[None, :, :]
+        d2 = np.einsum("ijk,ijk->ij", diff, diff)
+        within = d2 <= self.comm_range * self.comm_range
+        np.fill_diagonal(within, False)
+        return [np.nonzero(row)[0] for row in within]
+
+    def neighbors(self, i: int) -> np.ndarray:
+        """Ids within communication range of node ``i`` (excluding ``i``)."""
+        if self._neighbor_cache is None:
+            self._neighbor_cache = self._build_neighbor_cache()
+        return self._neighbor_cache[i]
+
+    def alive_neighbors(self, i: int) -> list[int]:
+        """Neighbor ids that are currently alive."""
+        return [int(j) for j in self.neighbors(i) if self.nodes[j].alive]
+
+    def invalidate(self) -> None:
+        """Drop cached neighbor sets after a topology change."""
+        self._neighbor_cache = None
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def move_node(self, node_id: int, pos: Iterable[float]) -> None:
+        """Relocate a node (gateway mobility) and invalidate caches."""
+        if not 0 <= node_id < len(self.nodes):
+            raise TopologyError(f"no such node: {node_id}")
+        self.positions[node_id] = np.asarray(list(pos), dtype=float)
+        self.invalidate()
+
+    # ------------------------------------------------------------------
+    # graph views
+    # ------------------------------------------------------------------
+    def graph(self, alive_only: bool = True) -> nx.Graph:
+        """The one-hop link graph as a :class:`networkx.Graph`."""
+        g = nx.Graph()
+        for node in self.nodes:
+            if alive_only and not node.alive:
+                continue
+            g.add_node(node.node_id, kind=node.kind)
+        for i in g.nodes:
+            for j in self.neighbors(i):
+                j = int(j)
+                if j > i and j in g.nodes:
+                    g.add_edge(i, j, weight=1.0)
+        return g
+
+    def hops_to(self, targets: Sequence[int], alive_only: bool = True) -> dict[int, int]:
+        """Minimum hop count from every reachable node to the nearest target.
+
+        Multi-source BFS over the link graph; the ground truth that SPR's
+        discovered routes are tested against.
+        """
+        g = self.graph(alive_only=alive_only)
+        targets = [t for t in targets if t in g.nodes]
+        if not targets:
+            return {}
+        return nx.multi_source_dijkstra_path_length(g, set(targets), weight=None)
+
+    def is_collection_connected(self) -> bool:
+        """True when every alive sensor can reach at least one gateway."""
+        hops = self.hops_to(self.gateway_ids)
+        return all(s in hops for s in self.sensor_ids if self.nodes[s].alive)
+
+
+# ----------------------------------------------------------------------
+# deployment generators
+# ----------------------------------------------------------------------
+def uniform_deployment(
+    n: int, field_size: float, seed: int | None = 0, margin: float = 0.0
+) -> np.ndarray:
+    """``n`` i.i.d.-uniform positions on a ``field_size`` × ``field_size`` field."""
+    if n <= 0:
+        raise ConfigurationError("n must be positive")
+    if field_size <= 0 or margin < 0 or 2 * margin >= field_size:
+        raise ConfigurationError("invalid field_size/margin")
+    rng = np.random.default_rng(seed)
+    return rng.uniform(margin, field_size - margin, size=(n, 2))
+
+
+def grid_deployment(rows: int, cols: int, spacing: float, jitter: float = 0.0, seed: int | None = 0) -> np.ndarray:
+    """A ``rows`` × ``cols`` grid with optional positional jitter."""
+    if rows <= 0 or cols <= 0 or spacing <= 0 or jitter < 0:
+        raise ConfigurationError("rows, cols, spacing must be positive; jitter >= 0")
+    xs, ys = np.meshgrid(np.arange(cols) * spacing, np.arange(rows) * spacing)
+    pos = np.column_stack([xs.ravel(), ys.ravel()]).astype(float)
+    if jitter > 0:
+        rng = np.random.default_rng(seed)
+        pos += rng.uniform(-jitter, jitter, size=pos.shape)
+    return pos
+
+
+def build_sensor_network(
+    sensor_positions: np.ndarray,
+    gateway_positions: np.ndarray,
+    comm_range: float = 40.0,
+    sensor_battery: float = math.inf,
+) -> Network:
+    """Assemble a sensor-tier :class:`Network`: sensors first, then gateways.
+
+    Gateway ids therefore start at ``len(sensor_positions)``, which every
+    protocol in :mod:`repro.core` relies on being stable across rounds.
+    """
+    sensor_positions = np.asarray(sensor_positions, dtype=float)
+    gateway_positions = np.asarray(gateway_positions, dtype=float)
+    if gateway_positions.ndim == 1:
+        gateway_positions = gateway_positions.reshape(1, 2)
+    positions = np.vstack([sensor_positions, gateway_positions])
+    kinds = [NodeKind.SENSOR] * len(sensor_positions) + [NodeKind.GATEWAY] * len(gateway_positions)
+    return Network(positions, kinds, comm_range=comm_range, sensor_battery=sensor_battery)

@@ -1,0 +1,100 @@
+"""Node state machines for the three-tier WMSN architecture.
+
+The architecture (Section 3.2, Fig. 1) distinguishes four node kinds:
+
+``SENSOR``
+    Battery-powered 802.15.4 node; senses, forwards for neighbors.
+``GATEWAY`` (WMG)
+    Mesh gateway: sink of the low-tier sensor network *and* router of the
+    middle-tier mesh.  Speaks both 802.15.4 and 802.11.  Mains-powered
+    ("let gateways have unrestricted energy", Section 5.3) unless an
+    experiment says otherwise (the paper notes forest deployments where
+    gateways are also energy-restricted, Section 4.1).
+``MESH_ROUTER`` (WMR)
+    Pure middle-tier router; 802.11 only.
+``BASE_STATION``
+    Bridges the wireless mesh to the Internet; supports WMG/WMR mobility.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.sim.energy import EnergyAccount
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.packet import Packet
+
+__all__ = ["NodeKind", "Node"]
+
+
+class NodeKind(enum.Enum):
+    """Role of a node in the three-tier architecture."""
+
+    SENSOR = "sensor"
+    GATEWAY = "gateway"
+    MESH_ROUTER = "mesh_router"
+    BASE_STATION = "base_station"
+
+    @property
+    def is_sink(self) -> bool:
+        """Whether sensor-tier data terminates here."""
+        return self in (NodeKind.GATEWAY, NodeKind.BASE_STATION)
+
+
+@dataclass
+class Node:
+    """A single network node.
+
+    The node itself is a thin container: position lives in the
+    :class:`~repro.sim.network.Network` arrays (vectorised neighbor math),
+    behaviour lives in the protocol that registers ``handler``.
+
+    Attributes
+    ----------
+    node_id:
+        Index into the network's position arrays.
+    kind:
+        Role (sensor / gateway / mesh router / base station).
+    energy:
+        Battery account; infinite for mains-powered kinds by default.
+    handler:
+        Callback invoked with each successfully received packet.
+    failed:
+        Set by fault-injection experiments; a failed node neither sends
+        nor receives but keeps its residual energy (hardware fault, not
+        battery exhaustion).
+    """
+
+    node_id: int
+    kind: NodeKind
+    energy: EnergyAccount = field(default_factory=lambda: EnergyAccount(capacity=math.inf))
+    handler: Optional[Callable[["Packet"], None]] = None
+    failed: bool = False
+    sleeping: bool = False
+
+    @property
+    def alive(self) -> bool:
+        """True when the node can participate in the network.
+
+        A sleeping node (topology control, Section 4.4) has its radio off:
+        it neither transmits nor receives until woken, but unlike a failed
+        node it resumes seamlessly.
+        """
+        return self.energy.alive and not self.failed and not self.sleeping
+
+    def receive(self, packet: "Packet") -> None:
+        """Hand a delivered packet to the registered protocol handler."""
+        if self.handler is not None and self.alive:
+            self.handler(packet)
+
+    def fail(self) -> None:
+        """Inject a hardware failure (robustness experiments, E9)."""
+        self.failed = True
+
+    def recover(self) -> None:
+        """Clear an injected failure."""
+        self.failed = False

@@ -1,0 +1,222 @@
+"""Radio configurations and the shared wireless channel.
+
+:class:`Channel` is the only way packets move: protocols call
+:meth:`Channel.send` (broadcast when ``packet.dst is None``, link-layer
+unicast otherwise) and the channel handles CSMA deferral, airtime, loss,
+receiver-side collisions, energy charging and delivery to the receiving
+nodes' handlers.
+
+Two parameter presets mirror the paper's tier split (Section 3.2): sensor
+nodes speak :data:`IEEE802154`, mesh routers :data:`IEEE80211`, and
+gateways both.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.sim.energy import EnergyModel
+from repro.sim.engine import Simulator
+from repro.sim.mac import MediumState
+from repro.sim.packet import Packet
+from repro.sim.trace import MetricsCollector
+
+__all__ = ["RadioConfig", "IEEE802154", "IEEE80211", "Channel"]
+
+_SPEED_OF_LIGHT = 3.0e8
+
+
+@dataclass(frozen=True)
+class RadioConfig:
+    """Physical/MAC parameters of one radio technology."""
+
+    name: str
+    bitrate: float  # bits per second
+    comm_range: float  # meters
+    loss_rate: float = 0.0  # independent per-link frame loss probability
+    backoff_window: float = 2e-3  # seconds of random CSMA jitter
+    collisions: bool = True
+    csma: bool = True
+    arq_retries: int = 3
+    """Link-layer retransmissions for unicast frames whose reception fails
+    (collision or loss) — 802.15.4/802.11 both ACK unicast and retry.
+    Broadcast frames are never acknowledged, hence never retried."""
+
+    def __post_init__(self) -> None:
+        if self.bitrate <= 0 or self.comm_range <= 0:
+            raise ConfigurationError("bitrate and comm_range must be positive")
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ConfigurationError("loss_rate must be in [0, 1]")
+
+    def airtime(self, bits: int) -> float:
+        """Seconds needed to push ``bits`` onto the air."""
+        return bits / self.bitrate
+
+    def ideal(self) -> "RadioConfig":
+        """A lossless, collision-free copy (worked-example experiments)."""
+        return replace(
+            self, loss_rate=0.0, collisions=False, csma=False,
+            backoff_window=0.0, arq_retries=0,
+        )
+
+
+#: Sensor-tier radio (2.4 GHz 802.15.4: 250 kb/s, short range).
+IEEE802154 = RadioConfig(name="802.15.4", bitrate=250_000.0, comm_range=40.0)
+
+#: Mesh-tier radio (802.11b: 11 Mb/s, long range).
+IEEE80211 = RadioConfig(name="802.11", bitrate=11_000_000.0, comm_range=250.0)
+
+
+class Channel:
+    """The shared wireless medium of one network tier.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event engine (also the source of randomness).
+    network:
+        Topology provider; must expose ``nodes``, ``neighbors(i)`` and
+        ``distance(i, j)`` (see :class:`repro.sim.network.Network`).
+    config:
+        Radio parameters (default 802.15.4 — the sensor tier).
+    energy_model:
+        First-order radio model used to charge TX/RX energy.
+    metrics:
+        Collector receiving send/receive/drop events.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network,
+        config: RadioConfig = IEEE802154,
+        energy_model: Optional[EnergyModel] = None,
+        metrics: Optional[MetricsCollector] = None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.config = config
+        self.energy_model = energy_model or EnergyModel()
+        self.metrics = metrics or MetricsCollector()
+        self.medium = MediumState()
+        self._prune_every = 256
+        self._sends_since_prune = 0
+
+    # ------------------------------------------------------------------
+    def send(self, sender: int, packet: Packet) -> bool:
+        """Queue a frame for transmission by ``sender``.
+
+        Returns ``False`` (and records a drop) if the sender is dead.  The
+        frame's link source is stamped to ``sender``; ``packet.dst`` decides
+        unicast (one intended receiver) vs broadcast (all neighbors).
+        """
+        node = self.network.nodes[sender]
+        if not node.alive:
+            self.metrics.on_drop("dead_node")
+            return False
+        packet.src = sender
+
+        now = self.sim.now
+        self._sends_since_prune += 1
+        if self._sends_since_prune >= self._prune_every:
+            self.medium.prune(now)
+            self._sends_since_prune = 0
+
+        if self.config.csma:
+            jitter = self.sim.rng.uniform(0.0, self.config.backoff_window or 1e-9)
+        else:
+            jitter = 0.0
+        self.sim.schedule(jitter, self._begin_tx, sender, packet)
+        return True
+
+    # ------------------------------------------------------------------
+    def _begin_tx(self, sender: int, packet: Packet, attempt: int = 0) -> None:
+        node = self.network.nodes[sender]
+        if not node.alive:
+            self.metrics.on_drop("dead_node")
+            return
+        if self.config.csma:
+            # Carrier sensing happens at transmit time: defer while any
+            # frame this node can hear (or its own) is on the air, then
+            # back off by a random slice of the contention window.
+            hearers = set(int(x) for x in self.network.neighbors(sender))
+            free = self.medium.earliest_free(hearers, sender, self.sim.now)
+            if free > self.sim.now:
+                backoff = self.sim.rng.uniform(0.0, self.config.backoff_window or 1e-9)
+                self.sim.schedule(
+                    free - self.sim.now + backoff, self._begin_tx, sender, packet, attempt
+                )
+                return
+
+        bits = packet.size_bits()
+        airtime = self.config.airtime(bits)
+        start = self.sim.now
+        end = start + airtime
+        self.medium.register_tx(sender, start, end)
+
+        # The paper's identical-power assumption: every frame is amplified
+        # to cover the full communication range (Section 5.2).
+        tx_joules = self.energy_model.tx_cost(bits, self.config.comm_range)
+        was_alive = node.energy.alive
+        node.energy.charge_tx(tx_joules, start)
+        if was_alive and not node.energy.alive:
+            self.metrics.on_node_death(sender, start)
+        self.metrics.on_send(packet)
+
+        neighbors = self.network.neighbors(sender)
+        rng = self.sim.rng
+        for nb in neighbors:
+            intended = packet.dst is None or packet.dst == nb
+            prop = self.network.distance(sender, nb) / _SPEED_OF_LIGHT
+            arrive = end + prop
+            if intended and self.config.loss_rate > 0.0 and rng.random() < self.config.loss_rate:
+                self.metrics.on_drop("loss")
+                if packet.dst is not None:
+                    self.sim.schedule(
+                        arrive - self.sim.now, self._maybe_retry, sender, packet, attempt
+                    )
+                continue
+            rec = self.medium.register_reception(
+                nb, start + prop, arrive, packet, sender, intended, self.config.collisions
+            )
+            if intended:
+                self.sim.schedule(arrive - self.sim.now, self._deliver, nb, rec, sender, attempt)
+
+        if packet.dst is not None and packet.dst not in neighbors:
+            # Link-layer unicast to a node that moved/died out of range.
+            self.metrics.on_drop("no_link")
+
+    # ------------------------------------------------------------------
+    def _maybe_retry(self, sender: int, packet: Packet, attempt: int) -> None:
+        """ARQ: retransmit a failed unicast frame (802.15.4 macMaxFrameRetries)."""
+        if attempt >= self.config.arq_retries:
+            self.metrics.on_drop("arq_exhausted")
+            return
+        if not self.network.nodes[sender].alive:
+            return
+        backoff = self.sim.rng.uniform(0.0, self.config.backoff_window or 1e-9)
+        self.sim.schedule(backoff, self._begin_tx, sender, packet, attempt + 1)
+
+    # ------------------------------------------------------------------
+    def _deliver(self, receiver: int, rec, sender: int, attempt: int) -> None:
+        unicast = rec.packet.dst is not None
+        if self.config.collisions and rec.collided:
+            self.metrics.on_drop("collision")
+            if unicast:
+                self._maybe_retry(sender, rec.packet, attempt)
+            return
+        node = self.network.nodes[receiver]
+        if not node.alive:
+            self.metrics.on_drop("dead_node")
+            return
+        bits = rec.packet.size_bits()
+        was_alive = node.energy.alive
+        node.energy.charge_rx(self.energy_model.rx_cost(bits), self.sim.now)
+        if was_alive and not node.energy.alive:
+            self.metrics.on_node_death(receiver, self.sim.now)
+            return
+        self.metrics.on_receive(rec.packet)
+        node.receive(rec.packet)

@@ -1,0 +1,137 @@
+"""Metrics collection.
+
+A single :class:`MetricsCollector` instance is threaded through the channel
+and the protocols.  It records the raw material every experiment in
+``EXPERIMENTS.md`` is computed from: per-kind packet counters, bytes on the
+air, end-to-end delivery records with latency and hop counts, drop reasons,
+and the network-lifetime event (first sensor death, the paper's lifetime
+definition in Section 5.3).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.packet import Packet, PacketKind
+
+__all__ = ["DeliveryRecord", "MetricsCollector"]
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """One application packet that reached its destination."""
+
+    origin: int
+    destination: int
+    hops: int
+    latency: float
+    created_at: float
+    delivered_at: float
+    uid: int
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates simulation statistics.
+
+    Counters are keyed so experiments can slice by packet kind; the
+    security experiments additionally use :attr:`drops` keyed by reason
+    (``"bad_mac"``, ``"replay"``, ``"no_route"``, ``"collision"``,
+    ``"loss"``, ``"dead_node"``, ``"ttl"``, ``"blackhole"`` ...).
+    """
+
+    sent: Counter = field(default_factory=Counter)  # kind -> frames put on air
+    received: Counter = field(default_factory=Counter)  # kind -> frames delivered
+    drops: Counter = field(default_factory=Counter)  # reason -> count
+    bytes_sent: int = 0
+    data_generated: int = 0
+    deliveries: list[DeliveryRecord] = field(default_factory=list)
+    first_death: Optional[tuple[int, float]] = None  # (node_id, time)
+    control_frames: int = 0
+    data_frames: int = 0
+
+    # ------------------------------------------------------------------
+    # channel-side hooks
+    # ------------------------------------------------------------------
+    def on_send(self, packet: Packet) -> None:
+        self.sent[packet.kind] += 1
+        self.bytes_sent += packet.size_bytes()
+        if packet.kind is PacketKind.DATA:
+            self.data_frames += 1
+        else:
+            self.control_frames += 1
+
+    def on_receive(self, packet: Packet) -> None:
+        self.received[packet.kind] += 1
+
+    def on_drop(self, reason: str) -> None:
+        self.drops[reason] += 1
+
+    def on_node_death(self, node_id: int, now: float) -> None:
+        if self.first_death is None:
+            self.first_death = (node_id, now)
+
+    # ------------------------------------------------------------------
+    # application-side hooks
+    # ------------------------------------------------------------------
+    def on_data_generated(self, count: int = 1) -> None:
+        self.data_generated += count
+
+    def on_data_delivered(self, packet: Packet, destination: int, now: float) -> None:
+        self.deliveries.append(
+            DeliveryRecord(
+                origin=packet.origin,
+                destination=destination,
+                hops=packet.hop_count,
+                latency=now - packet.created_at,
+                created_at=packet.created_at,
+                delivered_at=now,
+                uid=packet.payload.get("data_id", packet.uid),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # derived statistics
+    # ------------------------------------------------------------------
+    @property
+    def delivery_ratio(self) -> float:
+        """Unique application packets delivered / generated (0 if none sent)."""
+        if self.data_generated == 0:
+            return 0.0
+        unique = {(r.origin, r.uid) for r in self.deliveries}
+        return min(1.0, len(unique) / self.data_generated)
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean end-to-end latency over delivered packets (0 if none)."""
+        if not self.deliveries:
+            return 0.0
+        return sum(r.latency for r in self.deliveries) / len(self.deliveries)
+
+    @property
+    def mean_hops(self) -> float:
+        """Mean end-to-end hop count over delivered packets (0 if none)."""
+        if not self.deliveries:
+            return 0.0
+        return sum(r.hops for r in self.deliveries) / len(self.deliveries)
+
+    @property
+    def lifetime(self) -> Optional[float]:
+        """Time of first sensor death, or None if all survived."""
+        return None if self.first_death is None else self.first_death[1]
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict of headline numbers, convenient for table rows."""
+        return {
+            "data_generated": float(self.data_generated),
+            "data_delivered": float(len({(r.origin, r.uid) for r in self.deliveries})),
+            "delivery_ratio": self.delivery_ratio,
+            "mean_latency": self.mean_latency,
+            "mean_hops": self.mean_hops,
+            "bytes_sent": float(self.bytes_sent),
+            "control_frames": float(self.control_frames),
+            "data_frames": float(self.data_frames),
+            "lifetime": float("nan") if self.lifetime is None else self.lifetime,
+        }

@@ -1,0 +1,49 @@
+"""Shared fixtures: small deterministic topologies used across the suite."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.network import Network, build_sensor_network, grid_deployment
+from repro.sim.node import NodeKind
+from repro.sim.radio import IEEE802154, Channel
+from repro.sim.trace import MetricsCollector
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=123)
+
+
+@pytest.fixture
+def line_network():
+    """Five sensors in a line, gateway at the far end.
+
+    Topology:  s0 - s1 - s2 - s3 - s4 - G   (spacing 10, range 12)
+    so the only route from s0 is the 5-hop chain.
+    """
+    sensors = np.array([[float(10 * i), 0.0] for i in range(5)])
+    gateway = np.array([[50.0, 0.0]])
+    return build_sensor_network(sensors, gateway, comm_range=12.0)
+
+
+@pytest.fixture
+def line_setup(sim, line_network):
+    channel = Channel(sim, line_network, IEEE802154.ideal(), metrics=MetricsCollector())
+    return sim, line_network, channel
+
+
+@pytest.fixture
+def grid_network():
+    """A 5x5 sensor grid with gateways at two opposite corners."""
+    sensors = grid_deployment(5, 5, spacing=10.0)
+    gateways = np.array([[-10.0, 0.0], [50.0, 40.0]])
+    return build_sensor_network(sensors, gateways, comm_range=14.5)
+
+
+@pytest.fixture
+def grid_setup(sim, grid_network):
+    channel = Channel(sim, grid_network, IEEE802154.ideal(), metrics=MetricsCollector())
+    return sim, grid_network, channel

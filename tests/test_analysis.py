@@ -1,0 +1,101 @@
+"""Tests for statistics helpers and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    energy_balance_index,
+    energy_stats,
+    first_death_time,
+    hop_histogram,
+    jain_fairness,
+    residual_energy,
+)
+from repro.analysis.tables import format_table
+from repro.sim.network import build_sensor_network
+from repro.sim.packet import Packet, PacketKind
+from repro.sim.trace import MetricsCollector
+
+
+def _net(batteries=(1.0, 1.0)):
+    sensors = np.array([[0.0, 0.0], [10.0, 0.0]])
+    net = build_sensor_network(sensors, np.array([[20.0, 0.0]]),
+                               comm_range=12.0, sensor_battery=batteries[0])
+    return net
+
+
+class TestEnergyStats:
+    def test_zero_spend(self):
+        stats = energy_stats(_net())
+        assert stats["total"] == 0.0 and stats["variance"] == 0.0
+
+    def test_variance_matches_numpy(self):
+        net = _net()
+        net.nodes[0].energy.charge_tx(0.3, 1.0)
+        net.nodes[1].energy.charge_tx(0.1, 1.0)
+        stats = energy_stats(net)
+        assert stats["total"] == pytest.approx(0.4)
+        assert stats["variance"] == pytest.approx(np.var([0.3, 0.1]))
+        assert stats["max"] == pytest.approx(0.3)
+
+    def test_residual(self):
+        net = _net()
+        net.nodes[0].energy.charge_tx(0.25, 1.0)
+        res = residual_energy(net)
+        assert res[0] == pytest.approx(0.75) and res[1] == pytest.approx(1.0)
+
+    def test_balance_index(self):
+        net = _net()
+        net.nodes[0].energy.charge_tx(0.2, 1.0)
+        net.nodes[1].energy.charge_tx(0.2, 1.0)
+        assert energy_balance_index(net) == pytest.approx(1.0)
+        net.nodes[0].energy.charge_tx(0.4, 1.0)
+        assert energy_balance_index(net) < 1.0
+
+
+class TestFairnessAndHistogram:
+    def test_jain_equal(self):
+        assert jain_fairness([3, 3, 3]) == pytest.approx(1.0)
+
+    def test_jain_concentrated(self):
+        assert jain_fairness([1, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_jain_empty(self):
+        assert jain_fairness([]) == 1.0
+
+    def test_hop_histogram(self):
+        m = MetricsCollector()
+        for h in (1, 2, 2, 3):
+            m.on_data_delivered(
+                Packet(kind=PacketKind.DATA, origin=0, target=1,
+                       payload={"data_id": h * 10 + h}, hop_count=h),
+                1, now=1.0,
+            )
+        assert hop_histogram(m) == {1: 1, 2: 2, 3: 1}
+
+    def test_first_death_passthrough(self):
+        m = MetricsCollector()
+        assert first_death_time(m) is None
+        m.on_node_death(4, 9.0)
+        assert first_death_time(m) == 9.0
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(["name", "v"], [["x", 1.5], ["long-name", 2]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2]
+        assert len(lines) == 6
+
+    def test_floats_rounded(self):
+        out = format_table(["v"], [[1.23456]], ndigits=2)
+        assert "1.23" in out and "1.2345" not in out
+
+    def test_integral_floats_compact(self):
+        out = format_table(["v"], [[3.0]])
+        assert "3" in out and "3.000" not in out
+
+    def test_nan_rendered_as_dash(self):
+        out = format_table(["v"], [[float("nan")]])
+        assert "-" in out.splitlines()[-1]

@@ -1,0 +1,158 @@
+"""Unit tests for the SNEP-style crypto primitives."""
+
+import pytest
+
+from repro.exceptions import SecurityError
+from repro.security.crypto import (
+    MAC_LENGTH,
+    CounterState,
+    compute_mac,
+    decode_message,
+    decrypt,
+    derive_key,
+    encode_message,
+    encrypt,
+    verify_mac,
+)
+
+KEY = derive_key(b"master", "pairwise", 1, 50)
+OTHER = derive_key(b"master", "pairwise", 2, 50)
+
+
+class TestDerivation:
+    def test_deterministic(self):
+        assert derive_key(b"m", 1, 2) == derive_key(b"m", 1, 2)
+
+    def test_context_separation(self):
+        assert derive_key(b"m", 1, 2) != derive_key(b"m", 2, 1)
+        assert derive_key(b"m", "a") != derive_key(b"m", "b")
+
+    def test_master_separation(self):
+        assert derive_key(b"m1", 1) != derive_key(b"m2", 1)
+
+    def test_empty_master_rejected(self):
+        with pytest.raises(SecurityError):
+            derive_key(b"", 1)
+
+
+class TestEncryption:
+    def test_roundtrip(self):
+        ct = encrypt(KEY, 7, b"attack at dawn")
+        assert decrypt(KEY, 7, ct) == b"attack at dawn"
+
+    def test_ciphertext_differs_from_plaintext(self):
+        assert encrypt(KEY, 0, b"hello") != b"hello"
+
+    def test_counter_changes_ciphertext(self):
+        # CTR semantics: same plaintext, different counter -> different ct.
+        assert encrypt(KEY, 1, b"data") != encrypt(KEY, 2, b"data")
+
+    def test_wrong_key_garbles(self):
+        ct = encrypt(KEY, 3, b"secret")
+        assert decrypt(OTHER, 3, ct) != b"secret"
+
+    def test_wrong_counter_garbles(self):
+        ct = encrypt(KEY, 3, b"secret")
+        assert decrypt(KEY, 4, ct) != b"secret"
+
+    def test_empty_plaintext(self):
+        assert decrypt(KEY, 0, encrypt(KEY, 0, b"")) == b""
+
+    def test_long_plaintext_multi_block(self):
+        msg = bytes(range(256)) * 5
+        assert decrypt(KEY, 9, encrypt(KEY, 9, msg)) == msg
+
+    def test_bad_key_length_rejected(self):
+        with pytest.raises(SecurityError):
+            encrypt(b"short", 0, b"x")
+
+    def test_negative_counter_rejected(self):
+        with pytest.raises(SecurityError):
+            encrypt(KEY, -1, b"x")
+
+
+class TestMac:
+    def test_verify_roundtrip(self):
+        tag = compute_mac(KEY, 5, b"payload")
+        assert verify_mac(KEY, 5, b"payload", tag)
+
+    def test_mac_length(self):
+        assert len(compute_mac(KEY, 0, b"x")) == MAC_LENGTH
+
+    def test_altered_data_fails(self):
+        tag = compute_mac(KEY, 5, b"payload")
+        assert not verify_mac(KEY, 5, b"payloae", tag)
+
+    def test_wrong_counter_fails(self):
+        tag = compute_mac(KEY, 5, b"payload")
+        assert not verify_mac(KEY, 6, b"payload", tag)
+
+    def test_wrong_key_fails(self):
+        tag = compute_mac(KEY, 5, b"payload")
+        assert not verify_mac(OTHER, 5, b"payload", tag)
+
+    def test_truncated_tag_fails(self):
+        tag = compute_mac(KEY, 5, b"payload")
+        assert not verify_mac(KEY, 5, b"payload", tag[:-1])
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        msg = {"t": "req", "src": 3, "path": [1, 2, 3]}
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_key_order_canonical(self):
+        assert encode_message({"a": 1, "b": 2}) == encode_message({"b": 2, "a": 1})
+
+    def test_tuples_canonicalise_to_lists(self):
+        assert encode_message({"p": (1, 2)}) == encode_message({"p": [1, 2]})
+
+    def test_sets_canonicalise_sorted(self):
+        assert encode_message({3, 1, 2}) == encode_message([1, 2, 3])
+
+    def test_unencodable_rejected(self):
+        with pytest.raises(TypeError):
+            encode_message({"x": object()})
+
+
+class TestCounterState:
+    def test_outbound_monotonic(self):
+        cs = CounterState()
+        assert [cs.next("g"), cs.next("g"), cs.next("g")] == [0, 1, 2]
+
+    def test_outbound_per_peer(self):
+        cs = CounterState()
+        cs.next("a")
+        assert cs.next("b") == 0
+
+    def test_peek_does_not_consume(self):
+        cs = CounterState()
+        assert cs.peek("g") == 0
+        assert cs.next("g") == 0
+
+    def test_inbound_accepts_increasing(self):
+        cs = CounterState()
+        assert cs.accept("p", 0) and cs.accept("p", 5) and cs.accept("p", 6)
+
+    def test_inbound_rejects_replay(self):
+        cs = CounterState()
+        assert cs.accept("p", 5)
+        assert not cs.accept("p", 5)
+        assert not cs.accept("p", 3)
+
+    def test_allow_current_duplicates(self):
+        cs = CounterState()
+        assert cs.accept("p", 5, allow_current=True)
+        assert cs.accept("p", 5, allow_current=True)  # flood copy
+        assert not cs.accept("p", 4, allow_current=True)  # true replay
+
+    def test_window_rejects_absurd_jump(self):
+        cs = CounterState(window=100)
+        assert not cs.accept("p", 1_000_000)
+        assert cs.accept("p", 50)
+
+    def test_last_accepted(self):
+        cs = CounterState()
+        assert cs.last_accepted("p") == -1
+        cs.accept("p", 9)
+        assert cs.last_accepted("p") == 9

@@ -1,0 +1,141 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.engine import Simulator
+
+
+def test_initial_state():
+    sim = Simulator(seed=0)
+    assert sim.now == 0.0
+    assert sim.pending == 0
+    assert sim.events_processed == 0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator(seed=0)
+    fired = []
+    sim.schedule(2.0, fired.append, "late")
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(3.0, fired.append, "latest")
+    sim.run()
+    assert fired == ["early", "late", "latest"]
+    assert sim.now == 3.0
+
+
+def test_simultaneous_events_fifo():
+    sim = Simulator(seed=0)
+    fired = []
+    for i in range(10):
+        sim.schedule(1.0, fired.append, i)
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_negative_delay_rejected():
+    sim = Simulator(seed=0)
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator(seed=0)
+    fired = []
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.now == 1.0
+    sim.schedule_at(5.0, fired.append, "x")
+    sim.run()
+    assert sim.now == 5.0 and fired == ["x"]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator(seed=0)
+    fired = []
+    ev = sim.schedule(1.0, fired.append, "no")
+    sim.schedule(2.0, fired.append, "yes")
+    ev.cancel()
+    sim.run()
+    assert fired == ["yes"]
+
+
+def test_run_until_stops_and_advances_clock():
+    sim = Simulator(seed=0)
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(5.0, fired.append, "b")
+    sim.run(until=2.0)
+    assert fired == ["a"]
+    assert sim.now == 2.0  # clock advanced to the horizon
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_until_is_repeatable_like_a_clock():
+    sim = Simulator(seed=0)
+    sim.run(until=1.0)
+    sim.run(until=2.0)
+    assert sim.now == 2.0
+
+
+def test_max_events_safety_valve():
+    sim = Simulator(seed=0)
+
+    def reschedule():
+        sim.schedule(0.1, reschedule)
+
+    sim.schedule(0.0, reschedule)
+    sim.run(max_events=50)
+    assert sim.events_processed == 50
+    assert sim.pending > 0
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator(seed=0)
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_step_returns_false_on_empty_queue():
+    sim = Simulator(seed=0)
+    assert sim.step() is False
+
+
+def test_clear_drops_pending_events():
+    sim = Simulator(seed=0)
+    fired = []
+    sim.schedule(1.0, fired.append, "x")
+    sim.clear()
+    sim.run()
+    assert fired == []
+
+
+def test_rng_determinism():
+    a = Simulator(seed=42).rng.random(5)
+    b = Simulator(seed=42).rng.random(5)
+    assert (a == b).all()
+
+
+def test_run_not_reentrant():
+    sim = Simulator(seed=0)
+    err = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError as e:
+            err.append(e)
+
+    sim.schedule(0.0, reenter)
+    sim.run()
+    assert len(err) == 1

@@ -1,0 +1,172 @@
+"""Cross-module integration tests: full protocol stacks on one simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import MLR, SPR, SecMLR
+from repro.core.base import ProtocolConfig
+from repro.sim import (
+    Channel,
+    FeasiblePlaces,
+    GatewaySchedule,
+    IEEE802154,
+    Simulator,
+    build_sensor_network,
+    uniform_deployment,
+)
+from repro.sim.trace import MetricsCollector
+
+
+def _world(n=60, field=200.0, rng=55.0, seed=17, battery=float("inf"), radio=None):
+    sensors = uniform_deployment(n, field, seed=seed)
+    places = FeasiblePlaces.from_mapping({
+        "A": (0.2 * field, 0.2 * field),
+        "B": (0.8 * field, 0.8 * field),
+        "C": (0.5 * field, 0.5 * field),
+    })
+    gw = np.array([places.position("A"), places.position("B")])
+    net = build_sensor_network(sensors, gw, comm_range=rng, sensor_battery=battery)
+    sim = Simulator(seed=seed)
+    ch = Channel(sim, net, radio or IEEE802154.ideal(), metrics=MetricsCollector())
+    return sim, net, ch, places
+
+
+class TestRealisticRadio:
+    """Protocols must survive CSMA, collisions and 5% frame loss."""
+
+    def test_spr_with_lossy_csma_radio(self):
+        import dataclasses
+
+        radio = dataclasses.replace(IEEE802154, loss_rate=0.05)
+        sim, net, ch, _ = _world(radio=radio)
+        spr = SPR(
+            sim, net, ch,
+            ProtocolConfig(max_discovery_attempts=5, discovery_timeout=0.6,
+                           flood_jitter=0.03),
+        )
+        # Applications report on their own schedules, not in lockstep.
+        for k in range(2):
+            for i, s in enumerate(net.sensor_ids):
+                sim.schedule(3.0 * k + i * 45e-3, spr.send_data, s)
+        sim.run()
+        # Hidden-terminal collisions make dense flooding lossy by nature;
+        # what matters is that the protocol still routes most data.
+        assert ch.metrics.delivery_ratio >= 0.65
+        # losses actually occurred (the radio is real)
+        assert ch.metrics.drops["loss"] > 0
+
+    def test_secmlr_with_lossy_radio(self):
+        import dataclasses
+
+        radio = dataclasses.replace(IEEE802154, loss_rate=0.03)
+        sim, net, ch, places = _world(radio=radio)
+        schedule = GatewaySchedule.rotating(places, net.gateway_ids, num_rounds=3, seed=1)
+        proto = SecMLR(
+            sim, net, ch, schedule,
+            config=ProtocolConfig(
+                gateway_collect_timeout=0.1, discovery_timeout=0.6,
+                max_discovery_attempts=5, flood_jitter=0.03,
+            ),
+        )
+        for r in range(3):
+            sim.run(until=r * 10.0)
+            proto.start_round(r)
+            for i, s in enumerate(net.sensor_ids):
+                sim.schedule(3.0 + i * 45e-3, proto.send_data, s)
+        sim.run()
+        # SecMLR cannot table-answer (only gateways hold keys), so every
+        # discovery floods the whole field: under contention this is the
+        # harshest regime in the suite. The bar checks "keeps routing",
+        # not "unaffected"; EXPERIMENTS.md discusses the gap.
+        assert ch.metrics.delivery_ratio > 0.5
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_results(self):
+        outcomes = []
+        for _ in range(2):
+            sim, net, ch, _ = _world(seed=23)
+            spr = SPR(sim, net, ch)
+            for i, s in enumerate(net.sensor_ids):
+                sim.schedule(i * 1e-3, spr.send_data, s)
+            sim.run()
+            outcomes.append((
+                ch.metrics.delivery_ratio,
+                ch.metrics.bytes_sent,
+                round(ch.metrics.mean_latency, 12),
+                tuple(sorted((r.origin, r.hops) for r in ch.metrics.deliveries)),
+            ))
+        assert outcomes[0] == outcomes[1]
+
+    def test_different_seeds_differ(self):
+        def run(seed):
+            sim, net, ch, _ = _world(seed=seed)
+            spr = SPR(sim, net, ch)
+            for i, s in enumerate(net.sensor_ids):
+                sim.schedule(i * 1e-3, spr.send_data, s)
+            sim.run()
+            return ch.metrics.bytes_sent
+
+        assert run(1) != run(2)  # different topologies -> different traffic
+
+
+class TestEnergyConservation:
+    def test_books_balance(self):
+        sim, net, ch, _ = _world(battery=1.0)
+        spr = SPR(sim, net, ch)
+        for i, s in enumerate(net.sensor_ids):
+            sim.schedule(i * 1e-3, spr.send_data, s)
+        sim.run()
+        for s in net.sensor_ids:
+            acc = net.nodes[s].energy
+            assert acc.spent == pytest.approx(acc.capacity - acc.remaining)
+            assert acc.spent >= 0
+
+    def test_gateways_never_die(self):
+        sim, net, ch, _ = _world(battery=1e-6)
+        spr = SPR(sim, net, ch)
+        for s in net.sensor_ids[:10]:
+            spr.send_data(s)
+        sim.run()
+        for g in net.gateway_ids:
+            assert net.nodes[g].alive
+
+
+class TestProtocolEquivalence:
+    def test_mlr_round0_matches_spr_hops(self):
+        """With static gateways, MLR must find the same hop counts as SPR."""
+        results = {}
+        for name in ("spr", "mlr"):
+            sim, net, ch, places = _world(seed=29)
+            if name == "spr":
+                proto = SPR(sim, net, ch)
+                proto_start = None
+            else:
+                schedule = GatewaySchedule(
+                    places=places,
+                    rounds=[{net.gateway_ids[0]: "A", net.gateway_ids[1]: "B"}],
+                )
+                proto = MLR(sim, net, ch, schedule)
+                proto.start_round(0)
+            for i, s in enumerate(net.sensor_ids):
+                sim.schedule(1.0 + i * 1e-3, proto.send_data, s)
+            sim.run()
+            results[name] = {r.origin: r.hops for r in ch.metrics.deliveries}
+        assert results["spr"] == results["mlr"]
+
+    def test_secmlr_routes_match_mlr_routes(self):
+        """Security must not change the discovered hop counts."""
+        hops = {}
+        for cls in (MLR, SecMLR):
+            sim, net, ch, places = _world(seed=31)
+            schedule = GatewaySchedule(
+                places=places,
+                rounds=[{net.gateway_ids[0]: "A", net.gateway_ids[1]: "B"}],
+            )
+            proto = cls(sim, net, ch, schedule)
+            proto.start_round(0)
+            for i, s in enumerate(net.sensor_ids):
+                sim.schedule(1.0 + i * 1e-3, proto.send_data, s)
+            sim.run()
+            hops[cls.__name__] = {r.origin: r.hops for r in ch.metrics.deliveries}
+        assert hops["MLR"] == hops["SecMLR"]

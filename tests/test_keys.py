@@ -1,0 +1,70 @@
+"""Unit tests for LEAP-style key predistribution and the compromise model."""
+
+import pytest
+
+from repro.exceptions import SecurityError
+from repro.security.keys import KeyStore
+
+
+@pytest.fixture
+def store():
+    return KeyStore(b"deployment-master", gateway_ids=[50, 51])
+
+
+class TestDerivation:
+    def test_pairwise_symmetry_of_view(self, store):
+        # Both endpoints derive the same Kij from the authority.
+        assert store.pairwise_key(3, 50) == store.pairwise_key(3, 50)
+
+    def test_pairwise_distinct_per_pair(self, store):
+        keys = {
+            store.pairwise_key(s, g)
+            for s in range(5)
+            for g in (50, 51)
+        }
+        assert len(keys) == 10
+
+    def test_individual_keys_distinct(self, store):
+        assert store.individual_key(1) != store.individual_key(2)
+
+    def test_group_key_shared(self, store):
+        assert store.group_key == store.group_key
+
+    def test_key_types_disjoint(self, store):
+        assert store.individual_key(1) != store.cluster_key(1)
+        assert store.individual_key(1) != store.group_key
+
+    def test_unknown_gateway_rejected(self, store):
+        with pytest.raises(SecurityError):
+            store.pairwise_key(1, 99)
+
+    def test_empty_master_rejected(self):
+        with pytest.raises(SecurityError):
+            KeyStore(b"", [1])
+
+
+class TestRing:
+    def test_ring_contents(self, store):
+        ring = store.ring_for(7)
+        assert ring.node_id == 7
+        assert set(ring.pairwise) == {50, 51}
+        assert ring.pairwise_with(50) == store.pairwise_key(7, 50)
+        assert ring.group == store.group_key
+
+    def test_ring_missing_gateway(self, store):
+        ring = store.ring_for(7)
+        with pytest.raises(SecurityError):
+            ring.pairwise_with(99)
+
+
+class TestCompromise:
+    def test_capture_reveals_own_keys_only(self, store):
+        store.compromise(3)
+        assert store.adversary_knows_pairwise(3, 50)
+        # LEAP containment: node 4's pairwise keys stay secret.
+        assert not store.adversary_knows_pairwise(4, 50)
+
+    def test_compromised_set_tracked(self, store):
+        store.compromise(3)
+        store.compromise(9)
+        assert store.compromised_nodes == {3, 9}

@@ -1,0 +1,105 @@
+"""Tests for the LP formulation of equations (1)-(6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.lifetime import LifetimeLP
+from repro.exceptions import ConfigurationError
+from repro.sim.network import build_sensor_network
+
+
+def _line(n=4, battery=1.0):
+    sensors = np.array([[10.0 * i, 0.0] for i in range(n)])
+    return build_sensor_network(sensors, np.array([[10.0 * n, 0.0]]),
+                                comm_range=12.0, sensor_battery=battery)
+
+
+def _lp(net, et=1.0, er=0.5, rate=1.0):
+    return LifetimeLP(net, et=et, er=er, generation_rate=rate)
+
+
+class TestMinEnergy:
+    def test_line_flow_is_chain(self):
+        net = _line(3)
+        sol = _lp(net).solve_min_energy(minmax_stage=False)
+        # every sensor forwards everything upstream of it:
+        # flows: 0->1: 1, 1->2: 2, 2->G: 3
+        g = net.gateway_ids[0]
+        assert sol.flows[(0, 1)] == pytest.approx(1.0)
+        assert sol.flows[(1, 2)] == pytest.approx(2.0)
+        assert sol.flows[(2, g)] == pytest.approx(3.0)
+
+    def test_line_energy_values(self):
+        net = _line(3)
+        sol = _lp(net).solve_min_energy(minmax_stage=False)
+        # node 2 transmits 3 packets (et=1) and receives 2 (er=0.5)
+        assert sol.node_energy[2] == pytest.approx(3.0 + 1.0)
+        assert sol.node_energy[0] == pytest.approx(1.0)
+
+    def test_total_energy_is_hopcount_weighted(self):
+        net = _line(3)
+        sol = _lp(net).solve_min_energy(minmax_stage=False)
+        # total tx = sum of hop counts = 3+2+1 = 6; total rx = 3 (only
+        # sensor-to-sensor receptions: 1+2)... rx on gateway is free.
+        assert sol.total_energy == pytest.approx(6 * 1.0 + 3 * 0.5)
+
+    def test_minmax_stage_never_increases_total_much(self):
+        net = _line(4)
+        plain = _lp(net).solve_min_energy(minmax_stage=False)
+        balanced = _lp(net).solve_min_energy(minmax_stage=True, tolerance=1e-6)
+        assert balanced.total_energy <= plain.total_energy * (1 + 1e-3)
+        assert balanced.max_energy <= plain.max_energy + 1e-9
+
+    def test_two_gateways_halve_the_chain(self):
+        sensors = np.array([[10.0 * i, 0.0] for i in range(4)])
+        net = build_sensor_network(
+            sensors, np.array([[-10.0, 0.0], [40.0, 0.0]]), comm_range=12.0
+        )
+        sol = _lp(net).solve_min_energy(minmax_stage=False)
+        # nobody should forward more than 2 packets
+        assert sol.max_energy <= 2 * 1.0 + 1 * 0.5 + 1e-9
+
+
+class TestMaxLifetime:
+    def test_bottleneck_sets_lifetime(self):
+        net = _line(3, battery=10.0)
+        sol = _lp(net).solve_max_lifetime(battery=10.0)
+        # node 2 spends 4 J per round (see above): lifetime = 10/4
+        assert sol.objective == pytest.approx(2.5, rel=1e-6)
+
+    def test_lifetime_scales_with_battery(self):
+        net = _line(3)
+        a = _lp(net).solve_max_lifetime(battery=1.0).objective
+        b = _lp(net).solve_max_lifetime(battery=2.0).objective
+        assert b == pytest.approx(2 * a, rel=1e-6)
+
+    def test_multi_gateway_extends_lifetime(self):
+        line = _line(4)
+        single = _lp(line).solve_max_lifetime(battery=1.0).objective
+        sensors = np.array([[10.0 * i, 0.0] for i in range(4)])
+        dual = build_sensor_network(
+            sensors, np.array([[-10.0, 0.0], [40.0, 0.0]]), comm_range=12.0
+        )
+        double = _lp(dual).solve_max_lifetime(battery=1.0).objective
+        assert double > single
+
+    def test_invalid_battery(self):
+        with pytest.raises(ConfigurationError):
+            _lp(_line(3)).solve_max_lifetime(battery=0.0)
+
+
+class TestValidation:
+    def test_requires_positive_et(self):
+        with pytest.raises(ConfigurationError):
+            LifetimeLP(_line(3), et=0.0, er=0.1)
+
+    def test_rate_vector_length_checked(self):
+        with pytest.raises(ConfigurationError):
+            LifetimeLP(_line(3), et=1.0, er=0.5, generation_rate=[1.0, 2.0])
+
+    def test_per_sensor_rates(self):
+        net = _line(3)
+        lp = LifetimeLP(net, et=1.0, er=0.5, generation_rate=[2.0, 0.0, 0.0])
+        sol = lp.solve_min_energy(minmax_stage=False)
+        g = net.gateway_ids[0]
+        assert sol.flows[(2, g)] == pytest.approx(2.0)

@@ -1,0 +1,79 @@
+"""Unit tests for the medium-state bookkeeping (carrier sense, collisions)."""
+
+from repro.sim.mac import MediumState
+from repro.sim.packet import Packet, PacketKind
+
+
+def _pkt():
+    return Packet(kind=PacketKind.DATA, origin=0, target=1)
+
+
+class TestCarrierSense:
+    def test_idle_medium_free_now(self):
+        m = MediumState()
+        assert m.earliest_free(hearers={1, 2}, sender=0, now=5.0) == 5.0
+
+    def test_defers_for_audible_transmission(self):
+        m = MediumState()
+        m.register_tx(1, 1.0, 2.0)
+        assert m.earliest_free({1}, sender=0, now=1.5) == 2.0
+
+    def test_ignores_inaudible_transmission(self):
+        m = MediumState()
+        m.register_tx(7, 1.0, 2.0)  # node 7 is out of earshot
+        assert m.earliest_free({1, 2}, sender=0, now=1.5) == 1.5
+
+    def test_own_transmission_blocks(self):
+        m = MediumState()
+        m.register_tx(0, 1.0, 3.0)
+        assert m.earliest_free(set(), sender=0, now=1.5) == 3.0
+
+    def test_latest_end_wins(self):
+        m = MediumState()
+        m.register_tx(1, 1.0, 2.0)
+        m.register_tx(2, 1.5, 4.0)
+        assert m.earliest_free({1, 2}, sender=0, now=1.6) == 4.0
+
+    def test_expired_transmissions_ignored(self):
+        m = MediumState()
+        m.register_tx(1, 1.0, 2.0)
+        assert m.earliest_free({1}, sender=0, now=2.5) == 2.5
+
+
+class TestCollisions:
+    def test_overlap_marks_both(self):
+        m = MediumState()
+        a = m.register_reception(5, 1.0, 2.0, _pkt(), sender=1, intended=True, detect_collisions=True)
+        b = m.register_reception(5, 1.5, 2.5, _pkt(), sender=2, intended=True, detect_collisions=True)
+        assert a.collided and b.collided
+
+    def test_disjoint_frames_survive(self):
+        m = MediumState()
+        a = m.register_reception(5, 1.0, 2.0, _pkt(), 1, True, True)
+        b = m.register_reception(5, 2.0, 3.0, _pkt(), 2, True, True)
+        assert not a.collided and not b.collided
+
+    def test_different_receivers_never_collide(self):
+        m = MediumState()
+        a = m.register_reception(5, 1.0, 2.0, _pkt(), 1, True, True)
+        b = m.register_reception(6, 1.0, 2.0, _pkt(), 2, True, True)
+        assert not a.collided and not b.collided
+
+    def test_interference_collides_intended_frame(self):
+        m = MediumState()
+        a = m.register_reception(5, 1.0, 2.0, _pkt(), 1, intended=True, detect_collisions=True)
+        b = m.register_reception(5, 1.2, 2.2, _pkt(), 2, intended=False, detect_collisions=True)
+        assert a.collided  # overheard unicast still jams
+
+    def test_detection_disabled(self):
+        m = MediumState()
+        a = m.register_reception(5, 1.0, 2.0, _pkt(), 1, True, False)
+        b = m.register_reception(5, 1.5, 2.5, _pkt(), 2, True, False)
+        assert not a.collided and not b.collided
+
+    def test_prune_drops_expired(self):
+        m = MediumState()
+        m.register_tx(1, 0.0, 1.0)
+        m.register_reception(5, 0.0, 1.0, _pkt(), 1, True, True)
+        m.prune(now=2.0)
+        assert not m.active and not m.inbound

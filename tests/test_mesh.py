@@ -1,0 +1,139 @@
+"""Tests for the mesh backbone, Internet bridge and three-tier stack."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, TopologyError
+from repro.mesh.backbone import MeshBackbone
+from repro.mesh.internet import InternetHost, WiredBackbone
+from repro.mesh.stack import ThreeTierWMSN
+from repro.sim.engine import Simulator
+from repro.sim.network import uniform_deployment
+
+
+@pytest.fixture
+def backbone():
+    sim = Simulator(seed=5)
+    #  G0 --- R0 --- R1 --- BS     (spacing 200 m, 802.11 range 250 m)
+    mesh = MeshBackbone(
+        sim,
+        gateway_positions=np.array([[0.0, 0.0]]),
+        router_positions=np.array([[200.0, 0.0], [400.0, 0.0]]),
+        base_station_positions=np.array([[600.0, 0.0]]),
+    )
+    return sim, mesh
+
+
+class TestBackbone:
+    def test_tier_ids(self, backbone):
+        _, mesh = backbone
+        assert mesh.gateway_mesh_ids == [0]
+        assert mesh.router_mesh_ids == [1, 2]
+        assert mesh.base_station_mesh_ids == [3]
+
+    def test_connectivity_and_path(self, backbone):
+        _, mesh = backbone
+        assert mesh.is_connected_to_base()
+        assert mesh.shortest_path(0, 3) == [0, 1, 2, 3]
+        assert mesh.nearest_base_station(0) == 3
+
+    def test_transmit_delivers(self, backbone):
+        sim, mesh = backbone
+        got = []
+        mesh.delivery_callback = lambda pkt, node: got.append((pkt.payload["x"], node))
+        assert mesh.transmit(0, None, {"x": 42}, payload_bytes=100)
+        sim.run()
+        assert got == [(42, 3)]
+        assert mesh.metrics.deliveries[0].hops == 3
+
+    def test_self_healing_around_dead_router(self):
+        sim = Simulator(seed=6)
+        # Two parallel router paths between the gateway and the base station.
+        mesh = MeshBackbone(
+            sim,
+            gateway_positions=np.array([[0.0, 0.0]]),
+            router_positions=np.array([[200.0, 100.0], [200.0, -100.0]]),
+            base_station_positions=np.array([[400.0, 0.0]]),
+        )
+        got = []
+        mesh.delivery_callback = lambda pkt, node: got.append(pkt.payload["x"])
+        mesh.transmit(0, None, {"x": 1}, payload_bytes=50)
+        sim.run()
+        mesh.fail_router(mesh.router_mesh_ids[0])
+        mesh.transmit(0, None, {"x": 2}, payload_bytes=50)
+        sim.run()
+        assert got == [1, 2]  # re-routed via the surviving router
+
+    def test_no_route_counted(self, backbone):
+        sim, mesh = backbone
+        mesh.fail_router(1)  # cuts the chain
+        assert not mesh.transmit(0, None, {"x": 1}, payload_bytes=10)
+        assert mesh.metrics.drops["no_route"] == 1
+
+    def test_requires_base_station(self):
+        with pytest.raises(ConfigurationError):
+            MeshBackbone(
+                Simulator(seed=0),
+                gateway_positions=np.array([[0.0, 0.0]]),
+                router_positions=np.empty((0, 2)),
+                base_station_positions=np.empty((0, 2)),
+            )
+
+
+class TestInternet:
+    def test_wired_latency_and_bandwidth(self):
+        sim = Simulator(seed=0)
+        wired = WiredBackbone(sim, latency=0.01, bandwidth_bps=8000)
+        host = InternetHost(sim)
+        wired.deliver(host, {
+            "data_id": 1, "origin_sensor": 2, "via_gateway": 3,
+            "via_base_station": 4, "sensed_at": 0.0,
+        }, size_bytes=1000)  # 8000 bits at 8 kb/s = 1 s
+        sim.run()
+        assert host.received_count == 1
+        assert host.records[0].received_at == pytest.approx(1.01)
+        assert host.mean_latency() == pytest.approx(1.01)
+
+    def test_invalid_wired_config(self):
+        with pytest.raises(ConfigurationError):
+            WiredBackbone(Simulator(seed=0), latency=-1.0)
+
+
+class TestThreeTierStack:
+    def _stack(self, seed=7):
+        sim = Simulator(seed=seed)
+        sensors = uniform_deployment(40, 200.0, seed=seed)
+        stack = ThreeTierWMSN(
+            sim,
+            sensors,
+            gateway_positions=np.array([[40.0, 40.0], [160.0, 160.0]]),
+            router_positions=np.array([[100.0, 100.0]]),
+            base_station_positions=np.array([[200.0, 100.0]]),
+            sensor_radio=__import__("dataclasses").replace(
+                __import__("repro.sim.radio", fromlist=["IEEE802154"]).IEEE802154.ideal(),
+                comm_range=60.0,
+            ),
+        )
+        return sim, stack
+
+    def test_end_to_end_delivery(self):
+        sim, stack = self._stack()
+        for s in range(20):
+            stack.send_data(s)
+        sim.run()
+        assert stack.internet.received_count >= 18
+        recs = stack.completed_records()
+        assert all(r.mesh_tier_hops >= 1 for r in recs)
+        assert all(r.base_station is not None for r in recs)
+
+    def test_rejects_disconnected_mesh(self):
+        sim = Simulator(seed=1)
+        sensors = uniform_deployment(10, 100.0, seed=1)
+        with pytest.raises(TopologyError):
+            ThreeTierWMSN(
+                sim,
+                sensors,
+                gateway_positions=np.array([[50.0, 50.0]]),
+                router_positions=np.empty((0, 2)),
+                base_station_positions=np.array([[5000.0, 5000.0]]),
+            )

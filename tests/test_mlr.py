@@ -1,0 +1,159 @@
+"""Protocol tests for MLR (Section 5.3): rounds, accumulation, notification."""
+
+import numpy as np
+import pytest
+
+from repro.core.mlr import MLR
+from repro.exceptions import ConfigurationError, RoutingError
+from repro.sim.engine import Simulator
+from repro.sim.mobility import FeasiblePlaces, GatewaySchedule
+from repro.sim.network import build_sensor_network, grid_deployment
+from repro.sim.packet import PacketKind
+from repro.sim.radio import IEEE802154, Channel
+from repro.sim.trace import MetricsCollector
+
+
+@pytest.fixture
+def mlr_world():
+    """5x5 grid, two gateways, four feasible places at the corners."""
+    sensors = grid_deployment(5, 5, spacing=10.0)
+    places = FeasiblePlaces.from_mapping({
+        "A": (-10.0, 0.0),
+        "B": (50.0, 40.0),
+        "C": (-10.0, 40.0),
+        "D": (50.0, 0.0),
+    })
+    gw = np.array([places.position("A"), places.position("B")])
+    net = build_sensor_network(sensors, gw, comm_range=14.5)
+    g0, g1 = net.gateway_ids
+    schedule = GatewaySchedule(places=places, rounds=[
+        {g0: "A", g1: "B"},
+        {g0: "C", g1: "B"},
+        {g0: "C", g1: "D"},
+        {g0: "A", g1: "D"},
+    ])
+    sim = Simulator(seed=11)
+    ch = Channel(sim, net, IEEE802154.ideal(), metrics=MetricsCollector())
+    mlr = MLR(sim, net, ch, schedule)
+    return sim, net, ch, mlr, schedule
+
+
+def _round(sim, mlr, r, senders, t0, duration=8.0):
+    sim.run(until=t0)
+    mlr.start_round(r)
+    for i, s in enumerate(senders):
+        sim.schedule(1.0 + i * 1e-3, mlr.send_data, s)
+    return t0 + duration
+
+
+class TestRounds:
+    def test_rounds_must_be_sequential(self, mlr_world):
+        sim, net, ch, mlr, schedule = mlr_world
+        mlr.start_round(0)
+        with pytest.raises(RoutingError):
+            mlr.start_round(2)
+
+    def test_round_zero_bootstrap_is_free(self, mlr_world):
+        sim, net, ch, mlr, _ = mlr_world
+        mlr.start_round(0)
+        assert ch.metrics.sent[PacketKind.NOTIFY] == 0
+        assert mlr.known[0] == mlr.schedule.assignment(0)
+
+    def test_moved_gateway_notifies(self, mlr_world):
+        sim, net, ch, mlr, schedule = mlr_world
+        mlr.start_round(0)
+        sim.run(until=5.0)
+        mlr.start_round(1)  # g0 moves A -> C
+        sim.run(until=10.0)
+        # every sensor learned the new place via the flooded NOTIFY
+        g0 = net.gateway_ids[0]
+        for s in net.sensor_ids:
+            assert mlr.known[s][g0] == "C"
+
+    def test_unmoved_gateway_stays_silent(self, mlr_world):
+        sim, net, ch, mlr, schedule = mlr_world
+        mlr.start_round(0)
+        sim.run(until=5.0)
+        mlr.start_round(1)
+        sim.run(until=10.0)
+        notifies = ch.metrics.sent[PacketKind.NOTIFY]
+        # one flood (origin + rebroadcasts), not two: g1 did not move
+        assert notifies <= len(net.sensor_ids) + 2
+
+    def test_gateway_physically_moves(self, mlr_world):
+        sim, net, ch, mlr, schedule = mlr_world
+        mlr.start_round(0)
+        g0 = net.gateway_ids[0]
+        pos_a = net.positions[g0].copy()
+        sim.run(until=5.0)
+        mlr.start_round(1)
+        assert not np.array_equal(net.positions[g0], pos_a)
+
+
+class TestAccumulation:
+    def test_tables_accumulate_across_rounds(self, mlr_world):
+        sim, net, ch, mlr, schedule = mlr_world
+        sender = 12
+        t = 0.0
+        sizes = []
+        for r in range(4):
+            t = _round(sim, mlr, r, [sender], t)
+            sim.run(until=t - 0.5)
+            sizes.append(len(mlr.tables[sender]))
+        # new places add entries; covered places add nothing
+        assert sizes[0] == 2
+        assert sizes == sorted(sizes)
+        assert sizes[-1] == 4  # all four places eventually covered
+
+    def test_no_discovery_after_full_coverage(self, mlr_world):
+        sim, net, ch, mlr, schedule = mlr_world
+        sender = 12
+        t = 0.0
+        for r in range(3):
+            t = _round(sim, mlr, r, [sender], t)
+        sim.run(until=t)
+        rreq_before = ch.metrics.sent[PacketKind.RREQ]
+        t = _round(sim, mlr, 3, [sender], t)  # A and D both already known
+        sim.run()
+        assert ch.metrics.sent[PacketKind.RREQ] == rreq_before
+        assert ch.metrics.delivery_ratio == 1.0
+
+    def test_selection_is_min_hop_among_active(self, mlr_world):
+        sim, net, ch, mlr, schedule = mlr_world
+        t = _round(sim, mlr, 0, [0], 0.0)  # sensor 0 is at grid corner (0,0)
+        sim.run(until=t)
+        # places A(-10,0) is adjacent to sensor 0; B is far
+        assert mlr.selected_place(0) == "A"
+
+    def test_table_snapshot_format(self, mlr_world):
+        sim, net, ch, mlr, schedule = mlr_world
+        t = _round(sim, mlr, 0, [12], 0.0)
+        sim.run(until=t)
+        snap = mlr.table_snapshot(12)
+        assert all(len(row) == 3 for row in snap)
+        places = [p for p, _, _ in snap]
+        assert places == sorted(places)
+
+    def test_stale_place_reused_when_reoccupied(self, mlr_world):
+        sim, net, ch, mlr, schedule = mlr_world
+        sender = 12
+        t = 0.0
+        for r in range(4):
+            t = _round(sim, mlr, r, [sender], t)
+        sim.run()
+        # Round 3 re-occupies place A (by g0); entry from round 0 is reused
+        # and rebinding sends data to whichever gateway is there now.
+        assert ch.metrics.delivery_ratio == 1.0
+
+
+class TestValidation:
+    def test_schedule_gateway_mismatch(self, mlr_world):
+        sim, net, ch, mlr, schedule = mlr_world
+        bad = GatewaySchedule(places=schedule.places, rounds=[{999: "A", 1000: "B"}])
+        with pytest.raises(ConfigurationError):
+            MLR(sim, net, ch, bad)
+
+    def test_entry_key_requires_started_round(self, mlr_world):
+        sim, net, ch, mlr, schedule = mlr_world
+        with pytest.raises(RoutingError):
+            mlr.entry_key_for(net.gateway_ids[0])

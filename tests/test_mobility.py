@@ -1,0 +1,87 @@
+"""Unit tests for feasible places and gateway schedules."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sim.mobility import FeasiblePlaces, GatewaySchedule
+
+PLACES = FeasiblePlaces.from_mapping({
+    "A": (0.0, 0.0), "B": (10.0, 0.0), "C": (0.0, 10.0),
+    "D": (10.0, 10.0), "E": (5.0, 5.0),
+})
+
+
+class TestFeasiblePlaces:
+    def test_mapping_roundtrip(self):
+        assert PLACES.position("B") == (10.0, 0.0)
+        assert len(PLACES) == 5
+        assert "C" in PLACES and "Z" not in PLACES
+
+    def test_unknown_place(self):
+        with pytest.raises(ConfigurationError):
+            PLACES.position("Z")
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FeasiblePlaces(labels=("A", "A"), coordinates=((0, 0), (1, 1)))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FeasiblePlaces(labels=("A",), coordinates=((0, 0), (1, 1)))
+
+
+class TestGatewaySchedule:
+    def test_explicit_schedule(self):
+        s = GatewaySchedule(places=PLACES, rounds=[{1: "A", 2: "B"}, {1: "C", 2: "B"}])
+        assert s.num_rounds == 2
+        assert s.assignment(1) == {1: "C", 2: "B"}
+
+    def test_moved_gateways(self):
+        s = GatewaySchedule(places=PLACES, rounds=[{1: "A", 2: "B"}, {1: "C", 2: "B"}])
+        assert s.moved_gateways(0) == {1: "A", 2: "B"}  # round 0: everyone
+        assert s.moved_gateways(1) == {1: "C"}  # only the mover
+
+    def test_places_covered_by(self):
+        s = GatewaySchedule(places=PLACES, rounds=[{1: "A"}, {1: "B"}, {1: "A"}])
+        assert s.places_covered_by(0) == {"A"}
+        assert s.places_covered_by(2) == {"A", "B"}
+
+    def test_shared_place_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GatewaySchedule(places=PLACES, rounds=[{1: "A", 2: "A"}])
+
+    def test_unknown_place_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GatewaySchedule(places=PLACES, rounds=[{1: "Z"}])
+
+
+class TestRotatingGenerator:
+    def test_shape_and_validity(self):
+        s = GatewaySchedule.rotating(PLACES, [10, 11], num_rounds=12, seed=0)
+        assert s.num_rounds == 12
+        for r in range(12):
+            a = s.assignment(r)
+            assert set(a) == {10, 11}
+            assert len(set(a.values())) == 2
+
+    def test_eventually_covers_all_places(self):
+        s = GatewaySchedule.rotating(PLACES, [10, 11], num_rounds=12, seed=0)
+        assert s.places_covered_by(11) == set(PLACES.labels)
+
+    def test_deterministic(self):
+        a = GatewaySchedule.rotating(PLACES, [1, 2], num_rounds=6, seed=5)
+        b = GatewaySchedule.rotating(PLACES, [1, 2], num_rounds=6, seed=5)
+        assert a.rounds == b.rounds
+
+    def test_move_rate(self):
+        s = GatewaySchedule.rotating(PLACES, [1, 2], num_rounds=8, seed=1)
+        for r in range(1, 8):
+            assert len(s.moved_gateways(r)) <= 1
+
+    def test_more_gateways_than_places_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GatewaySchedule.rotating(PLACES, list(range(6)), num_rounds=2)
+
+    def test_nonpositive_rounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GatewaySchedule.rotating(PLACES, [1], num_rounds=0)

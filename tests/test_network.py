@@ -1,0 +1,141 @@
+"""Unit tests for topology, neighbor computation and deployments."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, TopologyError
+from repro.sim.network import (
+    Network,
+    build_sensor_network,
+    grid_deployment,
+    uniform_deployment,
+)
+from repro.sim.node import NodeKind
+
+
+class TestNeighbors:
+    def test_symmetric_links(self, line_network):
+        for i in range(len(line_network)):
+            for j in line_network.neighbors(i):
+                assert i in line_network.neighbors(int(j))
+
+    def test_line_adjacency(self, line_network):
+        # spacing 10, range 12: only chain-adjacent nodes connect
+        assert list(line_network.neighbors(0)) == [1]
+        assert sorted(line_network.neighbors(2)) == [1, 3]
+        assert sorted(line_network.neighbors(4)) == [3, 5]  # gateway is node 5
+
+    def test_no_self_neighbor(self, grid_network):
+        for i in range(len(grid_network)):
+            assert i not in grid_network.neighbors(i)
+
+    def test_neighbors_match_bruteforce(self):
+        pos = uniform_deployment(40, 100.0, seed=9)
+        net = Network(pos, [NodeKind.SENSOR] * 40, comm_range=25.0)
+        for i in range(40):
+            expected = sorted(
+                j for j in range(40)
+                if j != i and math.dist(pos[i], pos[j]) <= 25.0
+            )
+            assert sorted(int(x) for x in net.neighbors(i)) == expected
+
+    def test_move_invalidates_cache(self, line_network):
+        gw = line_network.gateway_ids[0]
+        assert sorted(line_network.neighbors(gw)) == [4]
+        line_network.move_node(gw, (0.0, 10.0))
+        # gw now 10m from node 0 (in range) and 14.1m from node 1 (out).
+        assert sorted(line_network.neighbors(gw)) == [0]
+
+    def test_alive_neighbors_excludes_dead(self, line_network):
+        line_network.nodes[1].fail()
+        assert line_network.alive_neighbors(0) == []
+        assert line_network.alive_neighbors(2) == [3]
+
+
+class TestGraph:
+    def test_hops_ground_truth(self, line_network):
+        hops = line_network.hops_to(line_network.gateway_ids)
+        assert hops[0] == 5 and hops[4] == 1
+
+    def test_collection_connected(self, line_network):
+        assert line_network.is_collection_connected()
+        line_network.nodes[2].fail()  # cuts the chain
+        assert not line_network.is_collection_connected()
+
+    def test_graph_excludes_dead_by_default(self, line_network):
+        line_network.nodes[2].fail()
+        g = line_network.graph()
+        assert 2 not in g.nodes
+        g_all = line_network.graph(alive_only=False)
+        assert 2 in g_all.nodes
+
+    def test_grid_connected(self, grid_network):
+        assert grid_network.is_collection_connected()
+
+
+class TestConstruction:
+    def test_bad_positions_shape(self):
+        with pytest.raises(ConfigurationError):
+            Network(np.zeros((3, 3)), [NodeKind.SENSOR] * 3)
+
+    def test_kind_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            Network(np.zeros((3, 2)), [NodeKind.SENSOR] * 2)
+
+    def test_nonpositive_range(self):
+        with pytest.raises(ConfigurationError):
+            Network(np.zeros((2, 2)), [NodeKind.SENSOR] * 2, comm_range=0)
+
+    def test_sensor_battery_only_on_sensors(self):
+        net = build_sensor_network(
+            np.array([[0.0, 0.0]]), np.array([[5.0, 0.0]]),
+            comm_range=10.0, sensor_battery=0.5,
+        )
+        assert net.nodes[0].energy.capacity == 0.5
+        assert math.isinf(net.nodes[1].energy.capacity)
+
+    def test_gateway_ids_follow_sensors(self):
+        net = build_sensor_network(
+            np.zeros((3, 2)), np.array([[1.0, 1.0], [2.0, 2.0]]), comm_range=5.0
+        )
+        assert net.sensor_ids == [0, 1, 2]
+        assert net.gateway_ids == [3, 4]
+
+    def test_move_unknown_node(self, line_network):
+        with pytest.raises(TopologyError):
+            line_network.move_node(99, (0, 0))
+
+
+class TestDeployments:
+    def test_uniform_bounds_and_shape(self):
+        pos = uniform_deployment(100, 50.0, seed=1, margin=5.0)
+        assert pos.shape == (100, 2)
+        assert pos.min() >= 5.0 and pos.max() <= 45.0
+
+    def test_uniform_deterministic(self):
+        a = uniform_deployment(10, 50.0, seed=3)
+        b = uniform_deployment(10, 50.0, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_uniform_invalid(self):
+        with pytest.raises(ConfigurationError):
+            uniform_deployment(0, 50.0)
+        with pytest.raises(ConfigurationError):
+            uniform_deployment(5, 10.0, margin=6.0)
+
+    def test_grid_shape_and_spacing(self):
+        pos = grid_deployment(3, 4, spacing=2.0)
+        assert pos.shape == (12, 2)
+        assert pos[:, 0].max() == pytest.approx(6.0)
+        assert pos[:, 1].max() == pytest.approx(4.0)
+
+    def test_grid_jitter_bounded(self):
+        base = grid_deployment(3, 3, spacing=10.0)
+        jit = grid_deployment(3, 3, spacing=10.0, jitter=1.0, seed=2)
+        assert np.abs(jit - base).max() <= 1.0
+
+    def test_grid_invalid(self):
+        with pytest.raises(ConfigurationError):
+            grid_deployment(0, 3, 1.0)

@@ -1,0 +1,101 @@
+"""Tests for the gateway number / deployment models (Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.placement import (
+    greedy_gateway_placement,
+    kmax_gateway_count,
+    mean_hops_for_placement,
+    sensor_graph,
+    sensor_hops_to_point,
+)
+from repro.exceptions import ConfigurationError, TopologyError
+from repro.sim.network import grid_deployment
+
+
+@pytest.fixture
+def grid():
+    return grid_deployment(5, 5, spacing=10.0)  # 25 sensors on [0,40]^2
+
+
+class TestHopsToPoint:
+    def test_adjacent_sensors_one_hop(self, grid):
+        g = sensor_graph(grid, comm_range=14.5)
+        hops = sensor_hops_to_point(g, grid, (0.0, -10.0), comm_range=14.5)
+        assert hops[0] == 1  # sensor at (0,0)
+
+    def test_distance_growth(self, grid):
+        g = sensor_graph(grid, comm_range=14.5)
+        hops = sensor_hops_to_point(g, grid, (-10.0, 0.0), comm_range=14.5)
+        # the far corner (40,40) is 8 grid steps + 1 to the point... but
+        # diagonals are in range (14.1 < 14.5), so paths are shorter.
+        assert hops[24] >= 4
+
+    def test_unreachable_point_empty(self, grid):
+        g = sensor_graph(grid, comm_range=14.5)
+        assert sensor_hops_to_point(g, grid, (500.0, 500.0), comm_range=14.5) == {}
+
+
+class TestMeanHops:
+    def test_center_beats_corner(self, grid):
+        center, _ = mean_hops_for_placement(grid, np.array([[20.0, 20.0]]), 14.5)
+        corner, _ = mean_hops_for_placement(grid, np.array([[0.0, 0.0]]), 14.5)
+        assert center < corner
+
+    def test_adding_a_gateway_never_hurts(self, grid):
+        one, _ = mean_hops_for_placement(grid, np.array([[0.0, 0.0]]), 14.5)
+        two, _ = mean_hops_for_placement(
+            grid, np.array([[0.0, 0.0], [40.0, 40.0]]), 14.5
+        )
+        assert two <= one + 1e-9
+
+    def test_unreachable_raises(self, grid):
+        with pytest.raises(TopologyError):
+            mean_hops_for_placement(grid, np.array([[999.0, 999.0]]), 14.5)
+
+
+class TestGreedyPlacement:
+    def test_monotone_improvement(self, grid):
+        candidates = grid_deployment(3, 3, spacing=20.0)  # 9 sites over the field
+        prev = None
+        for k in (1, 2, 4):
+            _, hops = greedy_gateway_placement(grid, candidates, k, 14.5)
+            if prev is not None:
+                assert hops <= prev + 1e-9
+            prev = hops
+
+    def test_chosen_indices_valid_and_distinct(self, grid):
+        candidates = grid_deployment(3, 3, spacing=20.0)
+        chosen, _ = greedy_gateway_placement(grid, candidates, 3, 14.5)
+        assert len(chosen) == len(set(chosen)) == 3
+        assert all(0 <= c < 9 for c in chosen)
+
+    def test_k_bounds(self, grid):
+        candidates = grid_deployment(2, 2, spacing=30.0)
+        with pytest.raises(ConfigurationError):
+            greedy_gateway_placement(grid, candidates, 0, 14.5)
+        with pytest.raises(ConfigurationError):
+            greedy_gateway_placement(grid, candidates, 5, 14.5)
+
+    def test_single_candidate_covering_all(self):
+        sensors = grid_deployment(2, 2, spacing=5.0)
+        chosen, hops = greedy_gateway_placement(
+            sensors, np.array([[2.5, 2.5]]), 1, comm_range=10.0
+        )
+        assert chosen == [0] and hops == 1.0
+
+
+class TestKmax:
+    def test_kmax_is_a_cover(self, grid):
+        candidates = grid_deployment(3, 3, spacing=20.0)
+        k = kmax_gateway_count(grid, candidates, comm_range=14.5)
+        assert 1 <= k <= 9
+
+    def test_kmax_one_when_range_huge(self, grid):
+        candidates = np.array([[20.0, 20.0]])
+        assert kmax_gateway_count(grid, candidates, comm_range=100.0) == 1
+
+    def test_impossible_cover_raises(self, grid):
+        with pytest.raises(TopologyError):
+            kmax_gateway_count(grid, np.array([[999.0, 999.0]]), comm_range=10.0)

@@ -1,0 +1,128 @@
+"""Unit tests for routing-table structures."""
+
+import pytest
+
+from repro.core.routing_table import ForwardingEntry, RouteEntry, RoutingTable
+from repro.exceptions import RoutingError
+
+
+def _entry(key, path):
+    return RouteEntry(key=key, gateway=path[-1], path=tuple(path))
+
+
+class TestRouteEntry:
+    def test_hops_and_next_hop(self):
+        e = _entry("A", [1, 2, 3, 50])
+        assert e.hops == 3
+        assert e.next_hop == 2
+
+    def test_one_hop_next_is_gateway(self):
+        e = _entry("A", [1, 50])
+        assert e.hops == 1 and e.next_hop == 50
+
+    def test_path_must_end_at_gateway(self):
+        with pytest.raises(RoutingError):
+            RouteEntry(key="A", gateway=99, path=(1, 2, 50))
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(RoutingError):
+            RouteEntry(key="A", gateway=1, path=())
+
+    def test_suffix_property_one(self):
+        # Property 1: the suffix of a shortest path is a valid route.
+        e = _entry("A", [1, 2, 3, 50])
+        s = e.suffix_from(3)
+        assert s.path == (3, 50) and s.hops == 1 and s.key == "A"
+
+    def test_suffix_off_path_rejected(self):
+        with pytest.raises(RoutingError):
+            _entry("A", [1, 2, 50]).suffix_from(7)
+
+
+class TestRoutingTable:
+    def test_install_and_get(self):
+        t = RoutingTable(owner=1)
+        e = _entry("A", [1, 2, 50])
+        assert t.install(e)
+        assert t.get("A") == e
+        assert "A" in t and len(t) == 1
+
+    def test_owner_enforced(self):
+        t = RoutingTable(owner=1)
+        with pytest.raises(RoutingError):
+            t.install(_entry("A", [2, 50]))
+
+    def test_replace_worse_only(self):
+        t = RoutingTable(owner=1)
+        t.install(_entry("A", [1, 2, 50]))
+        assert not t.install(_entry("A", [1, 2, 3, 50]), replace_worse_only=True)
+        assert t.get("A").hops == 2
+        assert t.install(_entry("A", [1, 50]), replace_worse_only=True)
+        assert t.get("A").hops == 1
+
+    def test_unconditional_replace(self):
+        t = RoutingTable(owner=1)
+        t.install(_entry("A", [1, 50]))
+        t.install(_entry("A", [1, 2, 50]))
+        assert t.get("A").hops == 2
+
+    def test_best_overall(self):
+        t = RoutingTable(owner=1)
+        t.install(_entry("A", [1, 2, 3, 50]))
+        t.install(_entry("B", [1, 2, 51]))
+        assert t.best().key == "B"
+
+    def test_best_restricted_to_active(self):
+        # The MLR selection rule: only currently-occupied places count.
+        t = RoutingTable(owner=1)
+        t.install(_entry("A", [1, 2, 3, 50]))
+        t.install(_entry("B", [1, 2, 51]))
+        assert t.best(active_keys={"A"}).key == "A"
+        assert t.best(active_keys={"C"}) is None
+
+    def test_best_tie_breaks_deterministically(self):
+        t = RoutingTable(owner=1)
+        t.install(_entry("B", [1, 2, 51]))
+        t.install(_entry("A", [1, 2, 50]))
+        assert t.best().key == "A"
+
+    def test_best_empty(self):
+        assert RoutingTable(owner=1).best() is None
+
+    def test_remove(self):
+        t = RoutingTable(owner=1)
+        t.install(_entry("A", [1, 50]))
+        t.remove("A")
+        assert "A" not in t
+        t.remove("A")  # idempotent
+
+    def test_entries_sorted_by_key(self):
+        t = RoutingTable(owner=1)
+        for k in ("C", "A", "B"):
+            t.install(_entry(k, [1, 50]))
+        assert [e.key for e in t.entries()] == ["A", "B", "C"]
+
+
+class TestForwardingEntries:
+    def test_install_and_match_by_gateway(self):
+        t = RoutingTable(owner=2)
+        fe = ForwardingEntry(source=1, destination=50, immediate_sender=1, immediate_receiver=50)
+        t.install_forwarding(fe)
+        assert t.match_forwarding(1, 50) == fe
+        assert t.match_forwarding(1, 51) is None
+
+    def test_route_key_takes_precedence(self):
+        t = RoutingTable(owner=2)
+        fe_b = ForwardingEntry(1, 50, 1, 3, route_key="B")
+        fe_e = ForwardingEntry(1, 50, 1, 4, route_key="E")
+        t.install_forwarding(fe_b)
+        t.install_forwarding(fe_e)
+        # Same (source, gateway) pair, distinct places: both must coexist —
+        # this is the regression the SecMLR re-bind bug was about.
+        assert t.match_forwarding(1, "B").immediate_receiver == 3
+        assert t.match_forwarding(1, "E").immediate_receiver == 4
+
+    def test_forwarding_entries_listing(self):
+        t = RoutingTable(owner=2)
+        t.install_forwarding(ForwardingEntry(1, 50, None, 5))
+        assert len(t.forwarding_entries) == 1

@@ -1,0 +1,174 @@
+"""Protocol tests for SecMLR (Section 6.2): crypto enforcement end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import ProtocolConfig
+from repro.core.secmlr import ENVELOPE_BYTES, SecMLR
+from repro.exceptions import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.mobility import FeasiblePlaces, GatewaySchedule
+from repro.sim.network import build_sensor_network, grid_deployment
+from repro.sim.packet import Packet, PacketKind
+from repro.sim.radio import IEEE802154, Channel
+from repro.sim.trace import MetricsCollector
+
+
+@pytest.fixture
+def sec_world():
+    sensors = grid_deployment(4, 4, spacing=10.0)
+    places = FeasiblePlaces.from_mapping({
+        "A": (-10.0, 0.0),
+        "B": (40.0, 30.0),
+        "C": (-10.0, 30.0),
+    })
+    gw = np.array([places.position("A"), places.position("B")])
+    net = build_sensor_network(sensors, gw, comm_range=14.5)
+    g0, g1 = net.gateway_ids
+    schedule = GatewaySchedule(places=places, rounds=[
+        {g0: "A", g1: "B"},
+        {g0: "C", g1: "B"},
+    ])
+    sim = Simulator(seed=13)
+    ch = Channel(sim, net, IEEE802154.ideal(), metrics=MetricsCollector())
+    proto = SecMLR(sim, net, ch, schedule, tesla_interval=0.25, tesla_lag=2)
+    return sim, net, ch, proto
+
+
+class TestHappyPath:
+    def test_delivers_with_full_crypto(self, sec_world):
+        sim, net, ch, proto = sec_world
+        proto.start_round(0)
+        for s in net.sensor_ids:
+            sim.schedule(1.0 + s * 1e-3, proto.send_data, s)
+        sim.run()
+        assert ch.metrics.delivery_ratio == 1.0
+        assert all(v == 0 for v in proto.security_rejections.values())
+
+    def test_forwarding_entries_installed_along_path(self, sec_world):
+        sim, net, ch, proto = sec_world
+        proto.start_round(0)
+        sim.schedule(1.0, proto.send_data, 15)  # far corner
+        sim.run()
+        entry = proto.tables[15].best(proto.active_keys(15))
+        assert entry is not None
+        for node in entry.path[:-1]:
+            fe = proto.tables[node].match_forwarding(15, entry.key)
+            assert fe is not None
+
+    def test_rreq_carries_envelope_bytes(self, sec_world):
+        sim, net, ch, proto = sec_world
+        proto.start_round(0)
+        targets = proto.discovery_targets(0)
+        pkt = Packet(kind=PacketKind.RREQ, origin=0, target=None,
+                     payload={"seq": 1, "targets": targets},
+                     payload_bytes=8)
+        before = pkt.size_bytes()
+        pkt = proto.decorate_rreq(0, pkt, targets)
+        assert pkt.size_bytes() == before + ENVELOPE_BYTES * len(targets)
+
+    def test_sensors_never_answer_queries(self, sec_world):
+        sim, net, ch, proto = sec_world
+        assert proto._table_answer(0, {net.gateway_ids[0]: "A"}) is None
+
+
+class TestCryptoEnforcement:
+    def test_unsecured_rreq_rejected_at_gateway(self, sec_world):
+        sim, net, ch, proto = sec_world
+        proto.start_round(0)
+        g = net.gateway_ids[0]
+        pkt = Packet(kind=PacketKind.RREQ, origin=0, target=None,
+                     payload={"seq": 99, "targets": {g: "A"}})
+        assert not proto.gateway_accepts_rreq(g, pkt)
+        assert proto.security_rejections["bad_mac"] == 1
+
+    def test_spoofed_origin_rejected(self, sec_world):
+        sim, net, ch, proto = sec_world
+        proto.start_round(0)
+        g = net.gateway_ids[0]
+        targets = {g: "A"}
+        pkt = Packet(kind=PacketKind.RREQ, origin=1, target=None,
+                     payload={"seq": 5, "targets": targets})
+        pkt = proto.decorate_rreq(1, pkt, targets)  # valid for node 1...
+        forged = pkt.fork(origin=2)  # ...but the flood claims node 2
+        assert not proto.gateway_accepts_rreq(g, forged)
+
+    def test_replayed_data_rejected(self, sec_world):
+        sim, net, ch, proto = sec_world
+        proto.start_round(0)
+        sim.schedule(1.0, proto.send_data, 0)
+        sim.run()
+        delivered = [r for r in ch.metrics.deliveries]
+        assert delivered
+        # Rebuild the exact accepted packet and replay it.
+        g = delivered[0].destination
+        entry = proto.tables[0].best(proto.active_keys(0))
+        payload = {"data_id": delivered[0].uid, "bytes": 24}
+        pkt = Packet(kind=PacketKind.DATA, origin=0, target=g,
+                     payload={**payload, "key": entry.key, "traversed": [0]},
+                     payload_bytes=24)
+        # counter already consumed: a fresh decorate uses counter 1 (ok),
+        # but replaying counter 0's envelope must fail. Craft it manually:
+        from repro.security.crypto import compute_mac, encode_message, encrypt
+
+        key = proto.keystore.pairwise_key(0, g)
+        body = {"t": "data", "src": 0, "gw": g, "data_id": delivered[0].uid}
+        ct = encrypt(key, 0, encode_message(body))
+        pkt.payload["sec"] = {
+            "ctr": 0, "ct": ct.hex(),
+            "mac": compute_mac(key, 0, ct).hex(), "claimed": 0,
+        }
+        assert not proto.gateway_accepts_data(g, pkt)
+        assert proto.security_rejections["replay"] >= 1
+
+    def test_forged_rres_rejected_at_source(self, sec_world):
+        sim, net, ch, proto = sec_world
+        proto.start_round(0)
+        g = net.gateway_ids[0]
+        pkt = Packet(kind=PacketKind.RRES, origin=g, target=0,
+                     path=(0, g), payload={"key": "A", "gw": g, "pos": 0, "seq": 1})
+        assert not proto.source_accepts_rres(0, pkt)
+
+    def test_altered_rres_path_detected(self, sec_world):
+        sim, net, ch, proto = sec_world
+        proto.start_round(0)
+        g = net.gateway_ids[0]
+        pkt = Packet(kind=PacketKind.RRES, origin=g, target=0,
+                     path=(0, 1, g), payload={"key": "A", "gw": g, "pos": 2, "seq": 1})
+        pkt = proto.decorate_rres(g, pkt, 0)
+        tampered = pkt.fork(path=(0, g))  # shorten the path en route
+        assert not proto.source_accepts_rres(0, tampered)
+        assert proto.security_rejections["bad_rres"] >= 1
+
+    def test_forged_notify_never_applied(self, sec_world):
+        sim, net, ch, proto = sec_world
+        proto.start_round(0)
+        g = net.gateway_ids[0]
+        forged = Packet(kind=PacketKind.NOTIFY, origin=g, target=None,
+                        payload={"seq": 123456, "gw": g, "place": "C", "round": 0})
+        # inject directly at a sensor
+        proto._on_notify(5, forged)
+        sim.run()
+        assert proto.known[5][g] == "A"  # belief unchanged
+        assert proto.security_rejections["bad_notify"] >= 1
+
+    def test_genuine_notify_applied_after_disclosure(self, sec_world):
+        sim, net, ch, proto = sec_world
+        proto.start_round(0)
+        sim.run(until=2.0)
+        proto.start_round(1)  # g0 moves A -> C, authentic μTESLA NOTIFY
+        g0 = net.gateway_ids[0]
+        # before disclosure the belief is stale
+        sim.run(until=2.0 + 0.25)  # less than lag * interval
+        # after the disclosure flood everyone believes the move
+        sim.run(until=2.0 + 3 * 0.25 + 0.5)
+        stale = [s for s in net.sensor_ids if proto.known[s].get(g0) != "C"]
+        assert not stale
+
+
+class TestConfig:
+    def test_requires_collect_timeout(self, sec_world):
+        sim, net, ch, proto = sec_world
+        with pytest.raises(ConfigurationError):
+            SecMLR(sim, net, ch, proto.schedule,
+                   config=ProtocolConfig(gateway_collect_timeout=0.0))

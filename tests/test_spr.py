@@ -1,0 +1,146 @@
+"""Protocol tests for SPR (Section 5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import ProtocolConfig
+from repro.core.spr import SPR
+from repro.exceptions import RoutingError
+from repro.sim.engine import Simulator
+from repro.sim.network import build_sensor_network
+from repro.sim.radio import IEEE802154, Channel
+from repro.sim.trace import MetricsCollector
+
+
+def _spr(setup, config=None):
+    sim, net, ch = setup
+    return SPR(sim, net, ch, config), sim, net, ch
+
+
+class TestDiscoveryAndDelivery:
+    def test_line_delivery_hops(self, line_setup):
+        spr, sim, net, ch = _spr(line_setup)
+        spr.send_data(0)
+        sim.run()
+        m = ch.metrics
+        assert m.delivery_ratio == 1.0
+        assert m.deliveries[0].hops == 5  # ground truth chain length
+
+    def test_all_sources_match_bfs(self, grid_setup):
+        spr, sim, net, ch = _spr(grid_setup)
+        truth = net.hops_to(net.gateway_ids)
+        for s in net.sensor_ids:
+            spr.send_data(s)
+        sim.run()
+        assert ch.metrics.delivery_ratio == 1.0
+        for rec in ch.metrics.deliveries:
+            assert rec.hops == truth[rec.origin], rec
+
+    def test_best_gateway_is_nearest(self, grid_setup):
+        spr, sim, net, ch = _spr(grid_setup)
+        corner_near_g0 = 0
+        spr.send_data(corner_near_g0)
+        sim.run()
+        assert spr.best_gateway_of(corner_near_g0) == net.gateway_ids[0]
+
+    def test_route_installed_at_source_only_after_discovery(self, line_setup):
+        spr, sim, net, ch = _spr(line_setup)
+        assert spr.route_of(0) is None
+        spr.send_data(0)
+        sim.run()
+        route = spr.route_of(0)
+        assert route is not None
+        assert route.path == (0, 1, 2, 3, 4, 5)
+
+    def test_second_packet_uses_table_no_new_flood(self, line_setup):
+        spr, sim, net, ch = _spr(line_setup)
+        spr.send_data(0)
+        sim.run()
+        rreq_before = ch.metrics.sent[__import__("repro.sim.packet", fromlist=["PacketKind"]).PacketKind.RREQ]
+        spr.send_data(0)
+        sim.run()
+        rreq_after = ch.metrics.sent[__import__("repro.sim.packet", fromlist=["PacketKind"]).PacketKind.RREQ]
+        assert rreq_after == rreq_before  # Step 1: table hit, no flood
+        assert ch.metrics.delivery_ratio == 1.0
+
+    def test_intermediate_nodes_install_suffixes(self, line_setup):
+        # Step 5.2: the first source-routed DATA installs suffix entries.
+        spr, sim, net, ch = _spr(line_setup)
+        spr.send_data(0)
+        sim.run()
+        for node in (1, 2, 3, 4):
+            entry = spr.tables[node].get(5)
+            assert entry is not None
+            assert entry.path == tuple(range(node, 6))
+
+    def test_table_answering_short_circuits_flood(self, line_setup):
+        spr, sim, net, ch = _spr(line_setup)
+        from repro.sim.packet import PacketKind
+
+        spr.send_data(4)  # adjacent to gateway: cheap discovery
+        sim.run()
+        base = ch.metrics.sent[PacketKind.RREQ]
+        spr.send_data(3)  # node 4 can answer from its table
+        sim.run()
+        delta = ch.metrics.sent[PacketKind.RREQ] - base
+        # Node 4 answers instead of re-flooding, so the flood only spreads
+        # away from the gateway (nodes 3, 2, 1, 0) and never reaches it.
+        assert delta == 4
+
+    def test_no_table_answering_ablation(self, line_setup):
+        sim, net, ch = line_setup
+        spr = SPR(sim, net, ch, ProtocolConfig(table_answering=False))
+        from repro.sim.packet import PacketKind
+
+        spr.send_data(4)
+        sim.run()
+        base = ch.metrics.sent[PacketKind.RREQ]
+        spr.send_data(3)
+        sim.run()
+        delta = ch.metrics.sent[PacketKind.RREQ] - base
+        assert delta == 5  # every sensor re-floods, including node 4
+        assert ch.metrics.delivery_ratio == 1.0
+
+
+class TestFailureHandling:
+    def test_unroutable_source_drops_after_retries(self, line_setup):
+        spr, sim, net, ch = _spr(line_setup)
+        net.nodes[1].fail()  # cuts node 0 off entirely
+        spr.send_data(0)
+        sim.run()
+        assert ch.metrics.drops["no_route"] == 1
+        assert ch.metrics.delivery_ratio == 0.0
+
+    def test_midpath_death_triggers_rerr_and_redelivery(self, grid_setup):
+        spr, sim, net, ch = _spr(grid_setup)
+        spr.send_data(12)  # center of the 5x5 grid
+        sim.run()
+        route = spr.route_of(12)
+        victim = route.path[1]
+        net.nodes[victim].fail()
+        spr.send_data(12)
+        sim.run()
+        m = ch.metrics
+        # The packet was re-routed around the dead node and delivered.
+        delivered = {r.uid for r in m.deliveries}
+        assert len(delivered) == 2
+
+    def test_dead_source_counts_drop(self, line_setup):
+        spr, sim, net, ch = _spr(line_setup)
+        net.nodes[0].fail()
+        spr.send_data(0)
+        sim.run()
+        assert ch.metrics.drops["dead_source"] == 1
+
+
+class TestValidation:
+    def test_requires_gateway(self, sim):
+        net = build_sensor_network(np.zeros((2, 2)), np.empty((0, 2)), comm_range=5.0)
+        ch = Channel(sim, net, IEEE802154.ideal(), metrics=MetricsCollector())
+        with pytest.raises(RoutingError):
+            SPR(sim, net, ch)
+
+    def test_gateway_cannot_send_data(self, line_setup):
+        spr, sim, net, ch = _spr(line_setup)
+        with pytest.raises(RoutingError):
+            spr.send_data(net.gateway_ids[0])

@@ -1,0 +1,108 @@
+"""Unit tests for μTESLA authenticated broadcast."""
+
+import pytest
+
+from repro.exceptions import SecurityError
+from repro.security.tesla import TeslaBroadcaster, TeslaMessage, TeslaReceiver
+
+
+def _pair(interval=1.0, lag=2, chain=64):
+    tx = TeslaBroadcaster(
+        sender_id=50, seed=b"seed", chain_length=chain,
+        interval=interval, disclosure_lag=lag,
+    )
+    rx = TeslaReceiver(tx.commitment, interval=interval, disclosure_lag=lag)
+    return tx, rx
+
+
+class TestChain:
+    def test_commitment_anchors_chain(self):
+        tx, _ = _pair()
+        import hashlib
+        assert hashlib.sha256(tx.key_for_interval(1)).digest() == tx.commitment
+
+    def test_chain_links(self):
+        tx, _ = _pair()
+        import hashlib
+        for i in range(2, 10):
+            assert hashlib.sha256(tx.key_for_interval(i)).digest() == tx.key_for_interval(i - 1)
+
+    def test_interval_bounds(self):
+        tx, _ = _pair(chain=8)
+        with pytest.raises(SecurityError):
+            tx.key_for_interval(0)
+        with pytest.raises(SecurityError):
+            tx.key_for_interval(9)
+
+    def test_bad_parameters(self):
+        with pytest.raises(SecurityError):
+            TeslaBroadcaster(1, b"s", chain_length=1, interval=1.0)
+        with pytest.raises(SecurityError):
+            TeslaBroadcaster(1, b"s", chain_length=8, interval=0.0)
+
+
+class TestBroadcastFlow:
+    def test_happy_path(self):
+        tx, rx = _pair()
+        msg = tx.authenticate({"place": "D"}, now=3.2)  # interval 3
+        assert rx.receive(msg, arrival_time=3.3)
+        out = rx.disclose(3, tx.key_for_interval(3))
+        assert out == [{"place": "D"}]
+
+    def test_skipped_interval_still_authenticates(self):
+        tx, rx = _pair()
+        msg = tx.authenticate({"n": 1}, now=2.5)
+        rx.receive(msg, arrival_time=2.6)
+        # the receiver misses disclosures 2..5 and hears 6 directly
+        out = rx.disclose(6, tx.key_for_interval(6))
+        assert out == [{"n": 1}]
+
+    def test_security_condition_rejects_late_arrival(self):
+        tx, rx = _pair()
+        msg = tx.authenticate({"n": 1}, now=3.0)
+        # arrival after interval+lag boundary = attacker may know the key
+        assert not rx.receive(msg, arrival_time=3.0 + 10.0)
+        assert rx.pending == 0
+
+    def test_forged_key_rejected(self):
+        tx, rx = _pair()
+        msg = tx.authenticate({"n": 1}, now=3.0)
+        rx.receive(msg, arrival_time=3.1)
+        assert rx.disclose(3, b"x" * 32) == []
+        # the genuine key still works afterwards
+        assert rx.disclose(3, tx.key_for_interval(3)) == [{"n": 1}]
+
+    def test_forged_mac_rejected(self):
+        tx, rx = _pair()
+        genuine = tx.authenticate({"n": 1}, now=3.0)
+        forged = TeslaMessage(payload={"n": 666}, interval=3,
+                              mac=genuine.mac, sender=genuine.sender)
+        rx.receive(forged, arrival_time=3.1)
+        assert rx.disclose(3, tx.key_for_interval(3)) == []
+
+    def test_stale_disclosure_ignored(self):
+        tx, rx = _pair()
+        rx.disclose(5, tx.key_for_interval(5))
+        assert rx.disclose(3, tx.key_for_interval(3)) == []
+
+    def test_multiple_messages_same_interval(self):
+        tx, rx = _pair()
+        for n in range(3):
+            rx.receive(tx.authenticate({"n": n}, now=4.1), arrival_time=4.2)
+        out = rx.disclose(4, tx.key_for_interval(4))
+        assert [m["n"] for m in out] == [0, 1, 2]
+
+    def test_disclosable_key_respects_lag(self):
+        tx, _ = _pair(interval=1.0, lag=2)
+        assert tx.disclosable_key(1.5) is None
+        i, key = tx.disclosable_key(5.5)  # interval 5, so 5-2=3
+        assert i == 3 and key == tx.key_for_interval(3)
+
+    def test_disclosure_time(self):
+        tx, _ = _pair(interval=0.5, lag=2)
+        assert tx.disclosure_time(4) == pytest.approx((4 + 2) * 0.5)
+
+    def test_time_before_epoch_rejected(self):
+        tx, _ = _pair()
+        with pytest.raises(SecurityError):
+            tx.interval_at(-1.0)

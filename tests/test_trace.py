@@ -1,0 +1,74 @@
+"""Unit tests for metrics collection."""
+
+import math
+
+from repro.sim.packet import Packet, PacketKind
+from repro.sim.trace import MetricsCollector
+
+
+def _data(origin=1, data_id=1, hops=3):
+    return Packet(kind=PacketKind.DATA, origin=origin, target=9,
+                  payload={"data_id": data_id}, payload_bytes=24, hop_count=hops,
+                  created_at=1.0)
+
+
+class TestCounters:
+    def test_send_classifies_control_vs_data(self):
+        m = MetricsCollector()
+        m.on_send(_data())
+        m.on_send(Packet(kind=PacketKind.RREQ, origin=1, target=None))
+        assert m.data_frames == 1 and m.control_frames == 1
+
+    def test_bytes_accumulate(self):
+        m = MetricsCollector()
+        p = _data()
+        m.on_send(p)
+        m.on_send(p)
+        assert m.bytes_sent == 2 * p.size_bytes()
+
+    def test_drop_reasons(self):
+        m = MetricsCollector()
+        m.on_drop("loss")
+        m.on_drop("loss")
+        m.on_drop("collision")
+        assert m.drops["loss"] == 2 and m.drops["collision"] == 1
+
+
+class TestDeliveries:
+    def test_delivery_ratio_unique(self):
+        m = MetricsCollector()
+        m.on_data_generated()
+        m.on_data_generated()
+        m.on_data_delivered(_data(data_id=1), 9, now=2.0)
+        m.on_data_delivered(_data(data_id=1), 9, now=2.5)  # duplicate
+        assert m.delivery_ratio == 0.5
+
+    def test_latency_and_hops(self):
+        m = MetricsCollector()
+        m.on_data_generated()
+        m.on_data_delivered(_data(data_id=1, hops=4), 9, now=3.0)
+        assert m.mean_latency == 2.0
+        assert m.mean_hops == 4.0
+
+    def test_empty_statistics(self):
+        m = MetricsCollector()
+        assert m.delivery_ratio == 0.0
+        assert m.mean_latency == 0.0
+        assert m.mean_hops == 0.0
+        assert m.lifetime is None
+
+    def test_first_death_sticky(self):
+        m = MetricsCollector()
+        m.on_node_death(3, 5.0)
+        m.on_node_death(4, 6.0)
+        assert m.first_death == (3, 5.0)
+        assert m.lifetime == 5.0
+
+    def test_summary_keys(self):
+        m = MetricsCollector()
+        s = m.summary()
+        assert set(s) >= {
+            "data_generated", "delivery_ratio", "mean_latency",
+            "mean_hops", "bytes_sent", "lifetime",
+        }
+        assert math.isnan(s["lifetime"])
