@@ -47,7 +47,17 @@ from repro.core import (
 )
 from repro.mesh import ThreeTierWMSN
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+# The registry and runner import experiment drivers which import the
+# substrate above, and the runner reads ``__version__`` for cache keys,
+# so these re-exports must stay below both.
+from repro.experiments.registry import (
+    REGISTRY,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.runner import ExperimentSpec, ResultCache, SweepResult, SweepRunner
 
 __all__ = [
     "__version__",
@@ -80,4 +90,12 @@ __all__ = [
     "SleepScheduler",
     # architecture
     "ThreeTierWMSN",
+    # experiment registry + sweep runner
+    "REGISTRY",
+    "ExperimentResult",
+    "run_experiment",
+    "ExperimentSpec",
+    "SweepRunner",
+    "SweepResult",
+    "ResultCache",
 ]

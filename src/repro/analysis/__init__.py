@@ -1,12 +1,14 @@
 """Statistics and reporting helpers shared by experiments and benchmarks."""
 
 from repro.analysis.stats import (
+    aggregate_records,
     energy_balance_index,
     energy_stats,
     first_death_time,
     hop_histogram,
     jain_fairness,
     residual_energy,
+    summarize,
 )
 from repro.analysis.tables import format_table
 
@@ -17,5 +19,7 @@ __all__ = [
     "energy_balance_index",
     "jain_fairness",
     "hop_histogram",
+    "summarize",
+    "aggregate_records",
     "format_table",
 ]

@@ -23,6 +23,8 @@ __all__ = [
     "energy_balance_index",
     "jain_fairness",
     "hop_histogram",
+    "summarize",
+    "aggregate_records",
 ]
 
 
@@ -83,3 +85,90 @@ def jain_fairness(values: Iterable[float]) -> float:
 def hop_histogram(metrics: MetricsCollector) -> dict[int, int]:
     """Delivered-packet count per end-to-end hop count."""
     return dict(sorted(Counter(r.hops for r in metrics.deliveries).items()))
+
+
+def summarize(values: Iterable[float], confidence: float = 0.95) -> dict[str, float]:
+    """Mean / sample std / confidence interval of a numeric sample.
+
+    The interval uses Student's t (the sweep runner aggregates a handful
+    of seeds, far too few for the normal approximation).  With ``n == 1``
+    std and the half-width are 0 — a point estimate, honestly labelled.
+
+    Returns ``{"n", "mean", "std", "ci_half_width", "ci_lo", "ci_hi"}``.
+    """
+    v = np.asarray(list(values), dtype=float)
+    n = len(v)
+    if n == 0:
+        raise ValueError("cannot summarize an empty sample")
+    mean = float(v.mean())
+    if n == 1:
+        std = half = 0.0
+    else:
+        from scipy.stats import t as student_t
+
+        std = float(v.std(ddof=1))
+        half = float(student_t.ppf(0.5 + confidence / 2, df=n - 1) * std / np.sqrt(n))
+    return {
+        "n": n,
+        "mean": mean,
+        "std": std,
+        "ci_half_width": half,
+        "ci_lo": mean - half,
+        "ci_hi": mean + half,
+    }
+
+
+def _numeric_leaves(value, prefix: str = "") -> dict[str, float]:
+    """Flatten a (possibly serialized) result to dotted-path -> number.
+
+    Understands the :mod:`repro.sim.serialize` encoding: dataclass tags
+    descend transparently into their fields, tuples behave like lists,
+    and list elements are addressed by index.
+    """
+    out: dict[str, float] = {}
+    if isinstance(value, bool):
+        return out
+    if isinstance(value, (int, float)):
+        out[prefix or "value"] = float(value)
+        return out
+    if isinstance(value, dict):
+        if "__dataclass__" in value and "fields" in value:
+            return _numeric_leaves(value["fields"], prefix)
+        if "__tuple__" in value:
+            return _numeric_leaves(value["__tuple__"], prefix)
+        if "__dict__" in value:
+            items = value["__dict__"]
+        else:
+            items = value.items()
+        for key, sub in items:
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(_numeric_leaves(sub, path))
+        return out
+    if isinstance(value, (list, tuple)):
+        for i, sub in enumerate(value):
+            path = f"{prefix}.{i}" if prefix else str(i)
+            out.update(_numeric_leaves(sub, path))
+        return out
+    return out
+
+
+def aggregate_records(
+    records: Iterable[dict], confidence: float = 0.95
+) -> dict[str, dict[str, float]]:
+    """Per-field :func:`summarize` across structurally similar dicts.
+
+    Intended for per-seed ``ScenarioResult.to_dict()`` (or any result
+    dict) sequences: every numeric leaf present in *all* records is
+    summarized; fields missing from some records are skipped, since a
+    mean over differing supports would silently lie.
+    """
+    flats = [_numeric_leaves(r) for r in records]
+    if not flats:
+        return {}
+    common_keys = set(flats[0])
+    for f in flats[1:]:
+        common_keys &= set(f)
+    return {
+        key: summarize([f[key] for f in flats], confidence=confidence)
+        for key in sorted(common_keys)
+    }

@@ -25,7 +25,6 @@ from repro.exceptions import ConfigurationError, RoutingError
 from repro.sim.energy import EnergyModel
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
-from repro.sim.node import NodeKind
 from repro.sim.packet import DATA_PAYLOAD_BYTES, MAC_HEADER_BYTES, Packet, PacketKind
 from repro.sim.radio import Channel
 

@@ -38,7 +38,7 @@ may suppress, mutate or fabricate traffic.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Any, Hashable, Iterable, Optional
 
 from repro.exceptions import RoutingError

@@ -28,7 +28,7 @@ LP value is an upper bound on lifetime / lower bound on energy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 from scipy.optimize import linprog

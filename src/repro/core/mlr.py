@@ -34,7 +34,6 @@ from repro.exceptions import ConfigurationError, RoutingError
 from repro.sim.engine import Simulator
 from repro.sim.mobility import GatewaySchedule
 from repro.sim.network import Network
-from repro.sim.node import NodeKind
 from repro.sim.packet import Packet, PacketKind
 from repro.sim.radio import Channel
 

@@ -23,7 +23,7 @@ with low load", while other gateways sit in "starvation state".
 from __future__ import annotations
 
 import itertools
-from typing import Hashable, Optional
+from typing import Optional
 
 from repro.core.base import ProtocolConfig
 from repro.core.mlr import MLR

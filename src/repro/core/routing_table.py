@@ -15,7 +15,7 @@ Three structures, straight from the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable, Iterable, Optional
 
 from repro.exceptions import RoutingError

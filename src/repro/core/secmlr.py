@@ -28,7 +28,7 @@ Data forwarding (6.2.4)
 from __future__ import annotations
 
 import itertools
-from typing import Hashable, Optional
+from typing import Optional
 
 from repro.core.mlr import MLR
 from repro.core.base import ProtocolConfig

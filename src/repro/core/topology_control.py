@@ -35,11 +35,9 @@ import math
 from collections import defaultdict
 from typing import Optional
 
-import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.sim.network import Network
-from repro.sim.node import NodeKind
 
 __all__ = ["SleepScheduler"]
 

@@ -25,8 +25,20 @@ from repro.experiments.attack_matrix import run_attack_matrix, ATTACK_NAMES
 from repro.experiments.robustness import run_robustness
 from repro.experiments.mobility_overhead import run_mobility_overhead
 from repro.experiments.lp_bound import run_lp_bound
+from repro.experiments.registry import (
+    REGISTRY,
+    ExperimentAdapter,
+    ExperimentResult,
+    get_experiment,
+    run_experiment,
+)
 
 __all__ = [
+    "REGISTRY",
+    "ExperimentAdapter",
+    "ExperimentResult",
+    "get_experiment",
+    "run_experiment",
     "ScenarioResult",
     "default_energy_model",
     "make_grid_scenario",

@@ -21,11 +21,13 @@ from repro.mesh.stack import ThreeTierWMSN
 from repro.sim.engine import Simulator
 from repro.sim.network import uniform_deployment
 from repro.sim.radio import IEEE802154, IEEE80211
+from repro.sim.serialize import serializable
 from dataclasses import replace as dc_replace
 
 __all__ = ["ArchitectureResult", "run_architecture"]
 
 
+@serializable
 @dataclass(frozen=True)
 class ArchitectureResult:
     delivered_to_internet: int
@@ -101,7 +103,8 @@ def run_architecture(
 
     recs = stack.completed_records()
     internet = stack.internet
-    mean = lambda xs: float(np.mean(xs)) if xs else 0.0
+    def mean(xs):
+        return float(np.mean(xs)) if xs else 0.0
     e2e = [r.end_to_end_latency for r in internet.records]
     return ArchitectureResult(
         delivered_to_internet=internet.received_count,

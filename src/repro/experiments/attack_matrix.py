@@ -22,7 +22,6 @@ MAC can prevent — only re-routing mitigates it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
 
 from repro.analysis.tables import format_table
 from repro.core.mlr import MLR
@@ -45,6 +44,7 @@ from repro.security.attacks import (
     compromise,
 )
 from repro.sim.mobility import GatewaySchedule
+from repro.sim.serialize import serializable
 
 __all__ = ["AttackCell", "AttackMatrixResult", "run_attack_matrix", "ATTACK_NAMES"]
 
@@ -62,6 +62,7 @@ ATTACK_NAMES = (
 )
 
 
+@serializable
 @dataclass(frozen=True)
 class AttackCell:
     attack: str
@@ -73,6 +74,7 @@ class AttackCell:
     attacker_stats: dict
 
 
+@serializable
 @dataclass(frozen=True)
 class AttackMatrixResult:
     cells: list

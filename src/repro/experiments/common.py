@@ -17,9 +17,10 @@ from repro.analysis.stats import energy_stats
 from repro.exceptions import ConfigurationError, TopologyError
 from repro.sim.energy import EnergyModel
 from repro.sim.engine import Simulator
-from repro.sim.mobility import FeasiblePlaces, GatewaySchedule
+from repro.sim.mobility import FeasiblePlaces
 from repro.sim.network import Network, build_sensor_network, uniform_deployment
 from repro.sim.radio import IEEE802154, Channel, RadioConfig
+from repro.sim.serialize import serializable
 from repro.sim.trace import MetricsCollector
 
 __all__ = [
@@ -52,9 +53,33 @@ class Scenario:
         return self.channel.metrics
 
 
+#: (dict field, table header, cell formatter) — ``row()`` and ``HEADERS``
+#: are both views over the ``to_dict()`` form, so tables, the runner's
+#: cache, and JSONL traces share one serialization path.  ``extras`` is
+#: deliberately absent: it round-trips through the dict form but has no
+#: table column.
+_SCENARIO_ROW_SPEC = [
+    ("name", "protocol", lambda v: v),
+    ("delivery_ratio", "delivery", lambda v: round(v, 3)),
+    ("mean_hops", "hops", lambda v: round(v, 2)),
+    ("mean_latency", "latency_ms", lambda v: round(v * 1e3, 2)),  # ms
+    ("total_energy", "energy_J", lambda v: v),
+    ("energy_variance", "variance", lambda v: v),
+    ("lifetime", "lifetime_s", lambda v: "-" if v is None else round(v, 1)),
+    ("control_frames", "ctrl_frames", lambda v: v),
+    ("data_frames", "data_frames", lambda v: v),
+    ("bytes_sent", "bytes", lambda v: v),
+]
+
+
+@serializable
 @dataclass
 class ScenarioResult:
-    """Headline numbers of one protocol run (rows of most tables)."""
+    """Headline numbers of one protocol run (rows of most tables).
+
+    ``to_dict()``/``from_dict()`` (injected by :func:`serializable`) are
+    exact inverses; ``row()`` formats the dict form for tables.
+    """
 
     name: str
     delivery_ratio: float
@@ -69,31 +94,10 @@ class ScenarioResult:
     extras: dict = field(default_factory=dict)
 
     def row(self) -> list:
-        return [
-            self.name,
-            round(self.delivery_ratio, 3),
-            round(self.mean_hops, 2),
-            round(self.mean_latency * 1e3, 2),  # ms
-            self.total_energy,
-            self.energy_variance,
-            "-" if self.lifetime is None else round(self.lifetime, 1),
-            self.control_frames,
-            self.data_frames,
-            self.bytes_sent,
-        ]
+        d = self.to_dict()
+        return [fmt(d[name]) for name, _, fmt in _SCENARIO_ROW_SPEC]
 
-    HEADERS = [
-        "protocol",
-        "delivery",
-        "hops",
-        "latency_ms",
-        "energy_J",
-        "variance",
-        "lifetime_s",
-        "ctrl_frames",
-        "data_frames",
-        "bytes",
-    ]
+    HEADERS = [header for _, header, _ in _SCENARIO_ROW_SPEC]
 
 
 def corner_places(field_size: float, inset: float = 0.15) -> FeasiblePlaces:

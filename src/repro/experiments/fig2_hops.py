@@ -23,6 +23,7 @@ from repro.sim.engine import Simulator
 from repro.sim.network import build_sensor_network
 from repro.sim.radio import IEEE802154, Channel
 from repro.sim.trace import MetricsCollector
+from repro.sim.serialize import serializable
 
 __all__ = ["Fig2Result", "run_fig2", "build_fig2_positions"]
 
@@ -83,6 +84,7 @@ def build_fig2_positions() -> dict:
     return {"relays": relays, "named": named}
 
 
+@serializable
 @dataclass(frozen=True)
 class Fig2Result:
     """Measured vs published hop counts for both panels of Fig. 2."""

@@ -26,10 +26,12 @@ from repro.experiments.common import (
     run_collection_rounds,
 )
 from repro.sim.network import uniform_deployment
+from repro.sim.serialize import serializable
 
 __all__ = ["GatewayCountResult", "run_gateway_count"]
 
 
+@serializable
 @dataclass(frozen=True)
 class GatewayCountRow:
     k: int
@@ -39,6 +41,7 @@ class GatewayCountRow:
     total_energy: float
 
 
+@serializable
 @dataclass(frozen=True)
 class GatewayCountResult:
     rows: list

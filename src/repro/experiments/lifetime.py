@@ -14,10 +14,8 @@ variance (the D^2 objective of eq. 1).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.analysis.stats import energy_balance_index
 from repro.analysis.tables import format_table
@@ -35,12 +33,14 @@ from repro.experiments.common import (
     run_collection_rounds,
 )
 from repro.sim.mobility import GatewaySchedule
+from repro.sim.serialize import serializable
 
 __all__ = ["LifetimeComparison", "run_lifetime_comparison", "LIFETIME_PROTOCOLS"]
 
 LIFETIME_PROTOCOLS = ("MLR", "SPR", "flat-1-sink", "LEACH", "flooding", "direct")
 
 
+@serializable
 @dataclass(frozen=True)
 class LifetimeComparison:
     results: dict[str, ScenarioResult]

@@ -29,10 +29,12 @@ from repro.experiments.common import (
 )
 from repro.sim.mobility import GatewaySchedule
 from repro.sim.packet import DATA_PAYLOAD_BYTES, MAC_HEADER_BYTES
+from repro.sim.serialize import serializable
 
 __all__ = ["LpBoundResult", "run_lp_bound"]
 
 
+@serializable
 @dataclass(frozen=True)
 class LpBoundResult:
     lp_lifetime_rounds: float

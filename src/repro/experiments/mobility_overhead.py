@@ -30,6 +30,7 @@ from repro.core.routing_table import RoutingTable
 from repro.core.secmlr import SecMLR
 from repro.experiments.common import corner_places, make_uniform_scenario
 from repro.sim.mobility import GatewaySchedule
+from repro.sim.serialize import serializable
 
 __all__ = ["MobilityOverheadResult", "ResetMLR", "run_mobility_overhead"]
 
@@ -50,6 +51,7 @@ class ResetMLR(MLR):
         super().start_round(r)
 
 
+@serializable
 @dataclass(frozen=True)
 class MobilityOverheadResult:
     per_round_control_frames: dict[str, list[int]]

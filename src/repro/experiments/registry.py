@@ -1,0 +1,170 @@
+"""Uniform experiment registry: name -> ``run(params, seed)`` adapter.
+
+Every paper experiment keeps its native ``run_*`` signature for direct
+callers, but sweeps, caching and the CLI need one calling convention.
+:data:`REGISTRY` maps a short experiment name ("fig2", "scalability",
+...) to an :class:`ExperimentAdapter` whose ``run(params, seed)`` injects
+the seed into the underlying driver and wraps the native result dataclass
+in an :class:`ExperimentResult` envelope that serializes through
+:mod:`repro.sim.serialize`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.architecture import run_architecture
+from repro.experiments.attack_matrix import run_attack_matrix
+from repro.experiments.fig2_hops import run_fig2
+from repro.experiments.gateway_count import run_gateway_count
+from repro.experiments.lifetime import run_lifetime_comparison
+from repro.experiments.lp_bound import run_lp_bound
+from repro.experiments.mobility_overhead import run_mobility_overhead
+from repro.experiments.robustness import run_robustness
+from repro.experiments.scalability import run_scalability
+from repro.experiments.security_overhead import run_security_overhead
+from repro.experiments.table1_mlr import run_table1
+from repro.sim.serialize import serializable
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentAdapter",
+    "REGISTRY",
+    "register",
+    "get_experiment",
+    "run_experiment",
+]
+
+
+@serializable
+@dataclass
+class ExperimentResult:
+    """One experiment run, tagged with exactly what produced it.
+
+    ``result`` is the experiment's native result dataclass (all of them
+    are registered with :func:`repro.sim.serialize.serializable`, so the
+    envelope round-trips to JSON for the cache and across processes).
+    """
+
+    experiment: str
+    params: dict
+    seed: int
+    result: Any = None
+
+    def format_table(self) -> str:
+        if hasattr(self.result, "format_table"):
+            return self.result.format_table()
+        return repr(self.result)
+
+
+@dataclass(frozen=True)
+class ExperimentAdapter:
+    """Binds an experiment name to its ``run_*`` driver.
+
+    ``seed_param`` names the keyword through which the driver takes its
+    seed; params override the driver's own defaults.
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    module: str
+    description: str = ""
+    seed_param: str = "seed"
+
+    def run(self, params: Optional[dict] = None, seed: int = 0) -> ExperimentResult:
+        kwargs = dict(params or {})
+        if self.seed_param in kwargs:
+            raise ConfigurationError(
+                f"pass the seed via the seed argument, not params[{self.seed_param!r}]"
+            )
+        kwargs[self.seed_param] = seed
+        # JSON params arrive with lists where the drivers default to
+        # tuples (e.g. scalability sizes); normalise so results and cache
+        # keys do not depend on the container type the caller used.
+        kwargs = {
+            k: tuple(v) if isinstance(v, list) else v for k, v in kwargs.items()
+        }
+        native = self.fn(**kwargs)
+        return ExperimentResult(
+            experiment=self.name,
+            params=dict(params or {}),
+            seed=seed,
+            result=native,
+        )
+
+
+#: the single source of truth for what experiments exist
+REGISTRY: dict[str, ExperimentAdapter] = {}
+
+
+def register(adapter: ExperimentAdapter) -> ExperimentAdapter:
+    if adapter.name in REGISTRY:
+        raise ConfigurationError(f"duplicate experiment name {adapter.name!r}")
+    REGISTRY[adapter.name] = adapter
+    return adapter
+
+
+def get_experiment(name: str) -> ExperimentAdapter:
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(REGISTRY))
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; registered: {known}"
+        ) from None
+
+
+def run_experiment(name: str, params: Optional[dict] = None, seed: int = 0) -> ExperimentResult:
+    """Convenience one-shot: ``REGISTRY[name].run(params, seed)``."""
+    return get_experiment(name).run(params, seed)
+
+
+for _adapter in (
+    ExperimentAdapter(
+        "fig2", run_fig2, "repro.experiments.fig2_hops",
+        "E1 — Fig. 2 hop counts, single sink vs three gateways",
+    ),
+    ExperimentAdapter(
+        "table1", run_table1, "repro.experiments.table1_mlr",
+        "E2 — Table 1 incremental MLR routing tables",
+    ),
+    ExperimentAdapter(
+        "architecture", run_architecture, "repro.experiments.architecture",
+        "E3 — three-tier WMSN architecture, per-tier statistics",
+    ),
+    ExperimentAdapter(
+        "scalability", run_scalability, "repro.experiments.scalability",
+        "E4 — hops/latency/energy vs network size, 1 sink vs m gateways",
+    ),
+    ExperimentAdapter(
+        "lifetime", run_lifetime_comparison, "repro.experiments.lifetime",
+        "E5 — lifetime comparison: MLR vs SPR vs baselines",
+    ),
+    ExperimentAdapter(
+        "gateway_count", run_gateway_count, "repro.experiments.gateway_count",
+        "E6 — lifetime and hops vs gateway count k",
+    ),
+    ExperimentAdapter(
+        "security_overhead", run_security_overhead, "repro.experiments.security_overhead",
+        "E7 — SecMLR overhead vs MLR",
+    ),
+    ExperimentAdapter(
+        "attack_matrix", run_attack_matrix, "repro.experiments.attack_matrix",
+        "E8 — attack resistance matrix, MLR vs SecMLR",
+    ),
+    ExperimentAdapter(
+        "robustness", run_robustness, "repro.experiments.robustness",
+        "E9 — delivery under gateway/sensor failures",
+    ),
+    ExperimentAdapter(
+        "mobility_overhead", run_mobility_overhead, "repro.experiments.mobility_overhead",
+        "E10 — control-plane cost of gateway mobility",
+    ),
+    ExperimentAdapter(
+        "lp_bound", run_lp_bound, "repro.experiments.lp_bound",
+        "E11 — LP lifetime bound vs the MLR heuristic",
+    ),
+):
+    register(_adapter)

@@ -23,10 +23,12 @@ from repro.baselines.flat import FlatSinkRouting
 from repro.core.spr import SPR
 from repro.experiments.common import corner_places, make_uniform_scenario
 from repro.sim.trace import MetricsCollector
+from repro.sim.serialize import serializable
 
 __all__ = ["RobustnessResult", "run_robustness"]
 
 
+@serializable
 @dataclass(frozen=True)
 class RobustnessRow:
     scenario: str
@@ -41,6 +43,7 @@ class RobustnessRow:
         return self.delivery_after / self.delivery_before
 
 
+@serializable
 @dataclass(frozen=True)
 class RobustnessResult:
     rows: list

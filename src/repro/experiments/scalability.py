@@ -21,10 +21,12 @@ from repro.analysis.tables import format_table
 from repro.baselines.flat import FlatSinkRouting
 from repro.core.spr import SPR
 from repro.experiments.common import make_uniform_scenario, run_collection_rounds
+from repro.sim.serialize import serializable
 
 __all__ = ["ScalabilityResult", "run_scalability"]
 
 
+@serializable
 @dataclass(frozen=True)
 class ScalabilityRow:
     n_sensors: int
@@ -41,6 +43,7 @@ class ScalabilityRow:
         return self.single_hops / self.multi_hops if self.multi_hops else float("inf")
 
 
+@serializable
 @dataclass(frozen=True)
 class ScalabilityResult:
     rows: list

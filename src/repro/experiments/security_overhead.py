@@ -23,10 +23,12 @@ from repro.experiments.common import (
     run_collection_rounds,
 )
 from repro.sim.mobility import GatewaySchedule
+from repro.sim.serialize import serializable
 
 __all__ = ["SecurityOverheadResult", "run_security_overhead"]
 
 
+@serializable
 @dataclass(frozen=True)
 class SecurityOverheadResult:
     mlr: ScenarioResult

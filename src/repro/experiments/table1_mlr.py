@@ -28,6 +28,7 @@ from repro.sim.mobility import FeasiblePlaces, GatewaySchedule
 from repro.sim.network import build_sensor_network
 from repro.sim.radio import IEEE802154, Channel
 from repro.sim.trace import MetricsCollector
+from repro.sim.serialize import serializable
 
 __all__ = ["Table1Result", "run_table1", "PAPER_TABLE1"]
 
@@ -67,6 +68,7 @@ def build_table1_topology() -> tuple[np.ndarray, FeasiblePlaces, int]:
     return np.asarray(sensors), FeasiblePlaces.from_mapping(mapping), 0
 
 
+@serializable
 @dataclass(frozen=True)
 class Table1Result:
     """Measured panels: per round, (place -> hops) and the selected place."""

@@ -15,7 +15,7 @@ at every forwarding decision point.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional
 
 import networkx as nx
 import numpy as np

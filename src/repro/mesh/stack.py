@@ -17,13 +17,13 @@ WMGs really do speak both MACs (they appear as sinks in the sensor tier
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Type
+from typing import Callable, Optional
 
 import numpy as np
 
-from repro.core.base import DiscoveryProtocol, ProtocolConfig
+from repro.core.base import DiscoveryProtocol
 from repro.core.spr import SPR
-from repro.exceptions import ConfigurationError, TopologyError
+from repro.exceptions import TopologyError
 from repro.mesh.backbone import MeshBackbone
 from repro.mesh.internet import InternetHost, WiredBackbone
 from repro.sim.energy import EnergyModel

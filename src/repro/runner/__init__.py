@@ -1,0 +1,35 @@
+"""Parallel multi-seed experiment runner.
+
+The runner turns the per-paper-artifact ``run_*`` drivers (reached via
+:data:`repro.experiments.REGISTRY`) into sweepable, cacheable units:
+
+>>> from repro.runner import ExperimentSpec, SweepRunner
+>>> spec = ExperimentSpec("scalability", params={"rounds": 1}, seeds="0..3")
+>>> sweep = SweepRunner(workers=4).run(spec)   # doctest: +SKIP
+>>> print(sweep.format_summary())              # doctest: +SKIP
+
+Modules: :mod:`~repro.runner.spec` (specs and cell identity),
+:mod:`~repro.runner.sweep` (process-pool execution, deterministic
+merge), :mod:`~repro.runner.cache` (on-disk result cache),
+:mod:`~repro.runner.trace` (JSONL observability),
+:mod:`~repro.runner.cli` (``python -m repro.runner``).
+"""
+
+from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.runner.spec import ExperimentSpec, SweepCell, cache_key, parse_seeds
+from repro.runner.sweep import CellOutcome, SweepResult, SweepRunner
+from repro.runner.trace import RunnerStats, TraceWriter
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "ExperimentSpec",
+    "SweepCell",
+    "cache_key",
+    "parse_seeds",
+    "CellOutcome",
+    "SweepResult",
+    "SweepRunner",
+    "RunnerStats",
+    "TraceWriter",
+]

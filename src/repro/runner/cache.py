@@ -1,0 +1,89 @@
+"""On-disk result cache under ``.repro_cache/``.
+
+One JSON file per simulation cell, named by the cell's
+:func:`~repro.runner.spec.cache_key`, holding the serialized
+:class:`~repro.experiments.registry.ExperimentResult` plus enough
+metadata to audit what produced it.  Because the key already encodes
+``(experiment, params, seed, version)``, lookups are pure path checks
+and a re-run of an identical sweep touches no simulator at all.
+
+Writes are atomic (tmp file + ``os.replace``) so that a parallel sweep
+killed mid-write never leaves a truncated entry; unreadable or
+mismatched entries are treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.experiments.registry import ExperimentResult
+from repro.sim.serialize import from_jsonable, to_jsonable
+
+from repro.runner.spec import SweepCell
+
+__all__ = ["ResultCache", "DEFAULT_CACHE_DIR"]
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+class ResultCache:
+    """Content-addressed store of experiment results.
+
+    ``hits``/``misses`` count lookups since construction; the sweep
+    runner surfaces them in its stats and traces, and tests use them to
+    prove a re-run performed zero simulations.
+    """
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, cell: SweepCell) -> Path:
+        return self.root / cell.experiment / f"{cell.key}.json"
+
+    def get(self, cell: SweepCell) -> Optional[ExperimentResult]:
+        """The cached result for ``cell``, or None (counted as a miss)."""
+        path = self.path_for(cell)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("key") != cell.key:
+                raise ValueError("cache entry key mismatch")
+            result = from_jsonable(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, cell: SweepCell, result: ExperimentResult) -> Path:
+        """Persist ``result`` for ``cell`` atomically; returns the path."""
+        path = self.path_for(cell)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": cell.key,
+            "experiment": cell.experiment,
+            "params": cell.params,
+            "seed": cell.seed,
+            "result": to_jsonable(result),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for entry in self.root.rglob("*.json"):
+                entry.unlink()
+                removed += 1
+        return removed
+
+    @property
+    def counters(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}

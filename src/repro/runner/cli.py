@@ -1,0 +1,153 @@
+"""Command-line sweep driver: ``python -m repro.runner``.
+
+Examples
+--------
+List what can be run::
+
+    python -m repro.runner --list
+
+A 4-worker, 8-seed scalability sweep with caching and a JSONL trace::
+
+    python -m repro.runner --experiment scalability --seeds 0..7 \\
+        --workers 4 --trace sweep.jsonl
+
+Parameter overrides are JSON and reach the experiment's ``run_*``
+keywords directly::
+
+    python -m repro.runner --experiment lifetime --seeds 0..3 \\
+        --params '{"n_sensors": 30, "max_rounds": 40}'
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.exceptions import ReproError
+from repro.experiments.registry import REGISTRY
+
+from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.runner.spec import ExperimentSpec, parse_seeds
+from repro.runner.sweep import SweepRunner
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner",
+        description="Parallel multi-seed experiment sweeps over the repro registry.",
+    )
+    parser.add_argument(
+        "--experiment", "-e",
+        help="registered experiment name (see --list)",
+    )
+    parser.add_argument(
+        "--seeds", "-s", default="0..3",
+        help='seed list: "4", "0,2,5" or inclusive range "0..7" (default 0..3)',
+    )
+    parser.add_argument(
+        "--workers", "-w", type=int, default=None,
+        help="worker processes (default: min(cells, cpu count); 1 = serial)",
+    )
+    parser.add_argument(
+        "--params", "-p", default=None,
+        help="JSON dict of keyword overrides for the experiment",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory (default {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="append per-cell JSONL trace records to PATH",
+    )
+    parser.add_argument(
+        "--tables", action="store_true",
+        help="also print each per-seed paper-style table",
+    )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_experiments",
+        help="list registered experiments and exit",
+    )
+    parser.add_argument(
+        "--quiet", "-q", action="store_true",
+        help="suppress per-cell progress lines",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_experiments:
+        width = max(len(name) for name in REGISTRY)
+        for name in sorted(REGISTRY):
+            print(f"{name:<{width}}  {REGISTRY[name].description}")
+        return 0
+
+    if not args.experiment:
+        parser.error("--experiment is required (or use --list)")
+    if args.experiment not in REGISTRY:
+        parser.error(
+            f"unknown experiment {args.experiment!r}; registered: "
+            + ", ".join(sorted(REGISTRY))
+        )
+
+    if args.workers is not None and args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+
+    try:
+        seeds = parse_seeds(args.seeds)
+        params = json.loads(args.params) if args.params else {}
+        if not isinstance(params, dict):
+            raise ReproError("--params must be a JSON object")
+        spec = ExperimentSpec(experiment=args.experiment, params=params, seeds=seeds)
+    except (ReproError, ValueError) as exc:
+        parser.error(str(exc))
+
+    def progress(done: int, total: int, record: dict) -> None:
+        if args.quiet:
+            return
+        source = "cache" if record["cache_hit"] else f"{record['wall_clock_s']:.2f}s"
+        print(
+            f"[{done}/{total}] {record['experiment']} seed={record['seed']} "
+            f"({source}, {record['events_processed']} events)",
+            file=sys.stderr,
+        )
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runner = SweepRunner(
+        workers=args.workers,
+        cache=cache,
+        trace_path=args.trace,
+        progress=progress,
+    )
+    try:
+        sweep = runner.run(spec)
+    except ReproError as exc:
+        # Configuration mistakes (bad params, seed smuggled into params,
+        # disconnected topologies) are user errors, not tracebacks.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.tables:
+        for outcome in sweep.cells:
+            print(f"\n=== {outcome.experiment} seed={outcome.seed} ===")
+            print(outcome.result.format_table())
+        print()
+    print(sweep.format_summary())
+    stats = sweep.stats.as_dict()
+    print(
+        f"\ncells={stats['cells_total']} simulated={stats['simulated']} "
+        f"cache_hits={stats['cache_hits']} cache_misses={stats['cache_misses']} "
+        f"events={stats['events_processed']} wall={stats['wall_clock_s']}s"
+    )
+    return 0

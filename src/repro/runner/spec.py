@@ -1,0 +1,120 @@
+"""Sweep specifications and stable cell identity.
+
+A sweep is a list of :class:`ExperimentSpec`s; each spec expands into
+one :class:`SweepCell` per seed.  The cell's :func:`cache_key` is the
+identity used everywhere — for the on-disk cache, for deterministic
+result merging, and in JSONL traces — and is a stable hash of
+``(experiment, params, seed, repro.__version__)``: the same cell hashes
+identically across processes, interpreter restarts and machines, and
+any code-version bump invalidates old cache entries wholesale.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.sim.serialize import serializable
+
+__all__ = ["ExperimentSpec", "SweepCell", "cache_key", "parse_seeds"]
+
+
+def _repro_version() -> str:
+    # Imported lazily: repro/__init__ re-exports the runner, so a
+    # top-level ``import repro`` here would be circular.
+    import repro
+
+    return repro.__version__
+
+
+def cache_key(
+    experiment: str,
+    params: dict,
+    seed: int,
+    version: Optional[str] = None,
+) -> str:
+    """Stable hex digest identifying one simulation cell.
+
+    Hashes the canonical JSON of the four identity components; dict key
+    order and tuple-vs-list container choices do not affect the key.
+    """
+    identity = {
+        "experiment": experiment,
+        "params": params,
+        "seed": seed,
+        "version": version if version is not None else _repro_version(),
+    }
+    blob = json.dumps(identity, sort_keys=True, separators=(",", ":"), default=list)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def parse_seeds(text: str) -> tuple[int, ...]:
+    """Parse a seed list: ``"4"``, ``"0,2,5"``, ``"0..7"`` (inclusive), or
+    comma-separated mixtures like ``"0..3,8"``."""
+    seeds: list[int] = []
+    for part in str(text).split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if ".." in part:
+            lo_s, hi_s = part.split("..", 1)
+            lo, hi = int(lo_s), int(hi_s)
+            if hi < lo:
+                raise ConfigurationError(f"empty seed range {part!r}")
+            seeds.extend(range(lo, hi + 1))
+        else:
+            seeds.append(int(part))
+    if not seeds:
+        raise ConfigurationError(f"no seeds in {text!r}")
+    return tuple(seeds)
+
+
+@serializable
+@dataclass
+class SweepCell:
+    """One (experiment, params, seed) simulation unit."""
+
+    experiment: str
+    params: dict
+    seed: int
+
+    @property
+    def key(self) -> str:
+        return cache_key(self.experiment, self.params, self.seed)
+
+
+@serializable
+@dataclass
+class ExperimentSpec:
+    """An experiment name, parameter overrides, and the seeds to run.
+
+    ``seeds`` may be given as an iterable of ints or the string syntax
+    of :func:`parse_seeds` (``"0..7"``).
+    """
+
+    experiment: str
+    params: dict = field(default_factory=dict)
+    seeds: tuple = (0,)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.seeds, str):
+            self.seeds = parse_seeds(self.seeds)
+        else:
+            self.seeds = tuple(int(s) for s in self.seeds)
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ConfigurationError(f"duplicate seeds in {self.seeds!r}")
+
+    def cells(self) -> list[SweepCell]:
+        """One cell per seed, in seed order (the merge order)."""
+        return [
+            SweepCell(experiment=self.experiment, params=dict(self.params), seed=s)
+            for s in self.seeds
+        ]
+
+
+def expand_cells(specs: Iterable[ExperimentSpec]) -> list[SweepCell]:
+    """All cells of all specs, in deterministic spec-then-seed order."""
+    return [cell for spec in specs for cell in spec.cells()]

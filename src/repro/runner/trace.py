@@ -1,0 +1,66 @@
+"""Structured observability for sweeps: counters and JSONL traces.
+
+Every completed cell emits one JSON line (wall-clock, events processed,
+cache hit/miss, worker provenance); the sweep ends with a summary line.
+Traces are append-only and one-object-per-line so they can be tailed
+while a long sweep runs and post-processed with standard line tools.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import IO, Optional, Union
+
+__all__ = ["RunnerStats", "TraceWriter"]
+
+
+@dataclass
+class RunnerStats:
+    """Aggregate counters for one sweep invocation."""
+
+    cells_total: int = 0
+    completed: int = 0
+    simulated: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    events_processed: int = 0
+    wall_clock_s: float = 0.0
+
+    def as_dict(self) -> dict:
+        d = asdict(self)
+        d["wall_clock_s"] = round(d["wall_clock_s"], 6)
+        return d
+
+
+class TraceWriter:
+    """Append JSON lines to ``path``; a no-op when ``path`` is None.
+
+    Lines are flushed as written so an observer tailing the file sees
+    cells complete in real time.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]]) -> None:
+        self.path = Path(path) if path is not None else None
+        self._fh: Optional[IO[str]] = None
+
+    def write(self, record: dict) -> None:
+        if self.path is None:
+            return
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a")
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

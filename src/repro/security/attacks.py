@@ -28,7 +28,6 @@ import itertools
 from collections import Counter
 from typing import Optional
 
-from repro.sim.node import NodeKind
 from repro.sim.packet import Packet, PacketKind
 
 __all__ = [

@@ -21,7 +21,7 @@ containment property the attack experiments verify.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 from repro.exceptions import SecurityError

@@ -9,7 +9,12 @@ The substrate replaces the physical 802.15.4 / 802.11 testbed the paper
 assumes (see ``DESIGN.md``, *Substitutions*).
 """
 
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import Event, Simulator, events_processed_total
+from repro.sim.serialize import (
+    from_jsonable,
+    serializable,
+    to_jsonable,
+)
 from repro.sim.energy import EnergyModel, EnergyAccount
 from repro.sim.packet import Packet, PacketKind, SecurityEnvelope
 from repro.sim.radio import RadioConfig, IEEE802154, IEEE80211, Channel
@@ -26,6 +31,10 @@ from repro.sim.trace import MetricsCollector, DeliveryRecord
 __all__ = [
     "Event",
     "Simulator",
+    "events_processed_total",
+    "serializable",
+    "to_jsonable",
+    "from_jsonable",
     "EnergyModel",
     "EnergyAccount",
     "Packet",

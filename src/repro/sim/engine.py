@@ -18,13 +18,24 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable
 
 import numpy as np
 
 from repro.exceptions import SimulationError
 
-__all__ = ["Event", "Simulator"]
+__all__ = ["Event", "Simulator", "events_processed_total"]
+
+#: process-wide count of events executed across all Simulator instances.
+#: The sweep runner reads deltas of this around an experiment run to
+#: attribute simulation work to a cell without threading the Simulator
+#: out of every ``run_*`` entry point.
+_TOTAL_EVENTS_PROCESSED = 0
+
+
+def events_processed_total() -> int:
+    """Events executed in this process across all simulators (diagnostic)."""
+    return _TOTAL_EVENTS_PROCESSED
 
 
 @dataclass(order=True)
@@ -112,8 +123,20 @@ class Simulator:
         return ev
 
     def schedule_at(self, when: float, fn: Callable[..., None], *args: Any) -> Event:
-        """Schedule ``fn(*args)`` at absolute simulated time ``when``."""
-        return self.schedule(when - self._now, fn, *args)
+        """Schedule ``fn(*args)`` at absolute simulated time ``when``.
+
+        ``when`` is pushed onto the heap as-is: round-tripping through a
+        relative delay (``when - now + now``) loses precision once ``when``
+        is large relative to the float epsilon, which made repeated
+        absolute scheduling drift against ``run(until=...)`` horizons.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (when={when!r}, now={self._now!r})"
+            )
+        ev = Event(when, next(self._counter), fn, args)
+        heapq.heappush(self._queue, ev)
+        return ev
 
     # ------------------------------------------------------------------
     # execution
@@ -134,6 +157,8 @@ class Simulator:
                 )
             self._now = ev.time
             self._events_processed += 1
+            global _TOTAL_EVENTS_PROCESSED
+            _TOTAL_EVENTS_PROCESSED += 1
             ev.fn(*ev.args)
             return True
         return False
@@ -164,8 +189,10 @@ class Simulator:
                     break
                 if max_events is not None and processed >= max_events:
                     break
-                self.step()
-                processed += 1
+                if self.step():
+                    # Only executed events count toward the budget;
+                    # cancelled events are discarded above without cost.
+                    processed += 1
             if until is not None and self._now < until:
                 self._now = until
         finally:

@@ -20,7 +20,6 @@ performance experiments leave them on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.sim.packet import Packet
 

@@ -11,7 +11,7 @@ consume.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -40,7 +40,7 @@ class FeasiblePlaces:
     @classmethod
     def from_mapping(cls, places: Mapping[str, tuple[float, float]]) -> "FeasiblePlaces":
         labels = tuple(places.keys())
-        return cls(labels=labels, coordinates=tuple(tuple(map(float, places[l])) for l in labels))
+        return cls(labels=labels, coordinates=tuple(tuple(map(float, places[lb])) for lb in labels))
 
     def __len__(self) -> int:
         return len(self.labels)
@@ -138,12 +138,12 @@ class GatewaySchedule:
         covered = set(current.values())
         for _ in range(1, num_rounds):
             occupied = set(current.values())
-            free = [l for l in places.labels if l not in occupied]
+            free = [lb for lb in places.labels if lb not in occupied]
             movers = list(rng.choice(gateway_ids, size=min(moves_per_round, m), replace=False))
             for g in movers:
                 if not free:
                     break
-                uncovered = [l for l in free if l not in covered]
+                uncovered = [lb for lb in free if lb not in covered]
                 pool = uncovered if uncovered else free
                 dest = str(rng.choice(pool))
                 free.remove(dest)

@@ -13,11 +13,10 @@ gateways both.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, replace
 from typing import Optional
 
-from repro.exceptions import ConfigurationError, SimulationError
+from repro.exceptions import ConfigurationError
 from repro.sim.energy import EnergyModel
 from repro.sim.engine import Simulator
 from repro.sim.mac import MediumState

@@ -1,0 +1,152 @@
+"""One serialization path for every result dataclass.
+
+The runner's on-disk cache, its JSONL traces, and the cross-process
+transport of sweep results all need the same property: an experiment
+result must survive ``to_jsonable -> json -> from_jsonable`` *exactly*,
+so that a cached or worker-produced result compares equal to one
+computed in-process.  Rather than hand-writing ``to_dict``/``from_dict``
+on a dozen dataclasses, result types register themselves with the
+:func:`serializable` decorator, which also injects ``to_dict()`` and
+``from_dict()`` round-trip methods derived from the dataclass fields.
+
+Encoding rules (chosen so the output is plain JSON):
+
+* registered dataclasses  -> ``{"__dataclass__": name, "fields": {...}}``
+* tuples                  -> ``{"__tuple__": [...]}`` (lists stay lists)
+* dicts with non-string keys -> ``{"__dict__": [[k, v], ...]}``
+* numpy scalars           -> native Python numbers
+* everything JSON-native passes through unchanged
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "serializable",
+    "registered_types",
+    "to_jsonable",
+    "from_jsonable",
+    "dumps",
+    "loads",
+]
+
+#: registry of dataclasses allowed to cross the serialization boundary
+_REGISTRY: dict[str, type] = {}
+
+
+def registered_types() -> dict[str, type]:
+    """A copy of the name -> dataclass registry (for tests/tooling)."""
+    return dict(_REGISTRY)
+
+
+def serializable(cls):
+    """Class decorator registering ``cls`` for dict/JSON round-trips.
+
+    Injects ``to_dict()`` (field name -> jsonable value) and a
+    ``from_dict()`` classmethod unless the class defines its own.  The
+    two are exact inverses: ``cls.from_dict(obj.to_dict()) == obj``.
+    """
+    if not dataclasses.is_dataclass(cls):
+        raise TypeError(f"@serializable requires a dataclass, got {cls!r}")
+    name = cls.__name__
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"duplicate serializable name {name!r}")
+    _REGISTRY[name] = cls
+
+    if "to_dict" not in cls.__dict__:
+
+        def to_dict(self) -> dict:
+            return {
+                f.name: to_jsonable(getattr(self, f.name))
+                for f in dataclasses.fields(self)
+            }
+
+        cls.to_dict = to_dict
+
+    if "from_dict" not in cls.__dict__:
+
+        def from_dict(cls_, data: dict):
+            kwargs = {
+                f.name: from_jsonable(data[f.name])
+                for f in dataclasses.fields(cls_)
+                if f.name in data
+            }
+            return cls_(**kwargs)
+
+        cls.from_dict = classmethod(from_dict)
+
+    return cls
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into JSON-native structures."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        name = type(obj).__name__
+        if name not in _REGISTRY:
+            raise TypeError(
+                f"{name} is not @serializable; register it in its module"
+            )
+        fields = {
+            f.name: to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return {"__dataclass__": name, "fields": fields}
+    if isinstance(obj, tuple):
+        return {"__tuple__": [to_jsonable(v) for v in obj]}
+    if isinstance(obj, list):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, dict):
+        if all(isinstance(k, str) for k in obj):
+            if "__dataclass__" in obj or "__tuple__" in obj or "__dict__" in obj:
+                # A plain dict shadowing our tags would decode wrongly.
+                return {"__dict__": [[k, to_jsonable(v)] for k, v in obj.items()]}
+            return {k: to_jsonable(v) for k, v in obj.items()}
+        return {"__dict__": [[to_jsonable(k), to_jsonable(v)] for k, v in obj.items()]}
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return {"__tuple__": [to_jsonable(v) for v in obj.tolist()]}
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot serialize {type(obj).__name__}: {obj!r}")
+
+
+def from_jsonable(data: Any) -> Any:
+    """Inverse of :func:`to_jsonable`."""
+    if isinstance(data, dict):
+        if "__dataclass__" in data:
+            name = data["__dataclass__"]
+            cls = _REGISTRY.get(name)
+            if cls is None:
+                raise TypeError(f"unknown serialized dataclass {name!r}")
+            fields = {k: from_jsonable(v) for k, v in data["fields"].items()}
+            known = {f.name for f in dataclasses.fields(cls)}
+            return cls(**{k: v for k, v in fields.items() if k in known})
+        if "__tuple__" in data:
+            return tuple(from_jsonable(v) for v in data["__tuple__"])
+        if "__dict__" in data:
+            return {from_jsonable(k): from_jsonable(v) for k, v in data["__dict__"]}
+        return {k: from_jsonable(v) for k, v in data.items()}
+    if isinstance(data, list):
+        return [from_jsonable(v) for v in data]
+    return data
+
+
+def dumps(obj: Any) -> str:
+    """Canonical JSON text of ``obj`` (sorted keys, compact separators).
+
+    Canonical form matters: the cache hashes this text, so two equal
+    objects must produce byte-identical strings.
+    """
+    return json.dumps(to_jsonable(obj), sort_keys=True, separators=(",", ":"))
+
+
+def loads(text: str) -> Any:
+    """Parse canonical JSON text back into live objects."""
+    return from_jsonable(json.loads(text))

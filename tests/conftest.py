@@ -1,13 +1,11 @@
 """Shared fixtures: small deterministic topologies used across the suite."""
 
-import math
 
 import numpy as np
 import pytest
 
 from repro.sim.engine import Simulator
-from repro.sim.network import Network, build_sensor_network, grid_deployment
-from repro.sim.node import NodeKind
+from repro.sim.network import build_sensor_network, grid_deployment
 from repro.sim.radio import IEEE802154, Channel
 from repro.sim.trace import MetricsCollector
 

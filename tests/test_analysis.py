@@ -4,12 +4,14 @@ import numpy as np
 import pytest
 
 from repro.analysis.stats import (
+    aggregate_records,
     energy_balance_index,
     energy_stats,
     first_death_time,
     hop_histogram,
     jain_fairness,
     residual_energy,
+    summarize,
 )
 from repro.analysis.tables import format_table
 from repro.sim.network import build_sensor_network
@@ -78,6 +80,63 @@ class TestFairnessAndHistogram:
         assert first_death_time(m) is None
         m.on_node_death(4, 9.0)
         assert first_death_time(m) == 9.0
+
+
+class TestSummarize:
+    def test_mean_and_std(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s["n"] == 3
+        assert s["mean"] == pytest.approx(2.0)
+        assert s["std"] == pytest.approx(np.std([1, 2, 3], ddof=1))
+
+    def test_ci_uses_student_t(self):
+        from scipy.stats import t as student_t
+
+        values = [1.0, 2.0, 3.0, 4.0]
+        s = summarize(values)
+        expected = student_t.ppf(0.975, df=3) * np.std(values, ddof=1) / 2.0
+        assert s["ci_half_width"] == pytest.approx(expected)
+        assert s["ci_lo"] == pytest.approx(s["mean"] - expected)
+        assert s["ci_hi"] == pytest.approx(s["mean"] + expected)
+
+    def test_single_sample_is_a_point_estimate(self):
+        s = summarize([5.0])
+        assert s == {
+            "n": 1, "mean": 5.0, "std": 0.0,
+            "ci_half_width": 0.0, "ci_lo": 5.0, "ci_hi": 5.0,
+        }
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestAggregateRecords:
+    def test_per_field_summaries(self):
+        recs = [{"a": 1.0, "b": 10}, {"a": 3.0, "b": 20}]
+        agg = aggregate_records(recs)
+        assert agg["a"]["mean"] == pytest.approx(2.0)
+        assert agg["b"]["mean"] == pytest.approx(15.0)
+
+    def test_nested_and_listed_leaves_flatten(self):
+        recs = [
+            {"top": {"x": 1.0}, "rows": [{"h": 2.0}]},
+            {"top": {"x": 3.0}, "rows": [{"h": 4.0}]},
+        ]
+        agg = aggregate_records(recs)
+        assert agg["top.x"]["mean"] == pytest.approx(2.0)
+        assert agg["rows.0.h"]["mean"] == pytest.approx(3.0)
+
+    def test_fields_missing_from_some_records_are_skipped(self):
+        agg = aggregate_records([{"a": 1.0, "b": 2.0}, {"a": 2.0}])
+        assert "a" in agg and "b" not in agg
+
+    def test_non_numeric_leaves_ignored(self):
+        agg = aggregate_records([{"name": "x", "v": 1.0}, {"name": "y", "v": 2.0}])
+        assert list(agg) == ["v"]
+
+    def test_empty_input(self):
+        assert aggregate_records([]) == {}
 
 
 class TestFormatTable:

@@ -50,6 +50,39 @@ def test_schedule_at_absolute_time():
     assert sim.now == 5.0 and fired == ["x"]
 
 
+def test_schedule_at_rejects_the_past():
+    sim = Simulator(seed=0)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.now == 1.0
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_schedule_at_is_exact_at_large_absolute_times():
+    # The old relative round-trip (when - now + now) lost ulps once the
+    # clock was large; absolute scheduling must hit `when` exactly.
+    sim = Simulator(seed=0)
+    base = 1e9
+    sim.schedule_at(base + 0.3, lambda: None)
+    sim.run()
+    when = base + 0.7
+    fired_at = []
+    sim.schedule_at(when, lambda: fired_at.append(sim.now))
+    sim.run()
+    assert fired_at == [when]
+
+
+def test_schedule_at_now_is_allowed():
+    sim = Simulator(seed=0)
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    fired = []
+    sim.schedule_at(2.0, fired.append, "x")
+    sim.run()
+    assert fired == ["x"] and sim.now == 2.0
+
+
 def test_cancelled_event_does_not_fire():
     sim = Simulator(seed=0)
     fired = []
@@ -89,6 +122,32 @@ def test_max_events_safety_valve():
     sim.run(max_events=50)
     assert sim.events_processed == 50
     assert sim.pending > 0
+
+
+def test_max_events_does_not_count_cancelled_events():
+    sim = Simulator(seed=0)
+    fired = []
+    cancelled = [sim.schedule(0.1 * i, fired.append, f"c{i}") for i in range(5)]
+    for ev in cancelled:
+        ev.cancel()
+    for i in range(3):
+        sim.schedule(1.0 + i, fired.append, i)
+    # Budget of 3 must execute all 3 live events: the 5 cancelled ones
+    # sit ahead of them in the heap but cost nothing.
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+    assert sim.events_processed == 3
+
+
+def test_events_processed_total_accumulates_across_simulators():
+    from repro.sim.engine import events_processed_total
+
+    before = events_processed_total()
+    sim = Simulator(seed=0)
+    for i in range(4):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert events_processed_total() - before == 4
 
 
 def test_events_scheduled_during_run_execute():

@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) for core data structures and invariants."""
 
-import math
 
 import numpy as np
 import pytest

@@ -110,7 +110,8 @@ class TestRebalancing:
 
         plain, dr_plain = run(MLR)
         balanced, dr_lb = run(LoadBalancedMLR, load_weight=3.0)
-        imbalance = lambda d: max(d.values()) - min(d.values())
+        def imbalance(d):
+            return max(d.values()) - min(d.values())
         assert imbalance(balanced) < imbalance(plain)
         assert dr_lb > 0.95  # rebalancing must not break delivery
 

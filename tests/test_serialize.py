@@ -1,0 +1,139 @@
+"""Round-trip tests for the shared serialization path."""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import ScenarioResult
+from repro.sim.serialize import (
+    dumps,
+    from_jsonable,
+    loads,
+    registered_types,
+    serializable,
+    to_jsonable,
+)
+
+
+@serializable
+@dataclass
+class _Inner:
+    label: str
+    values: tuple
+
+
+@serializable
+@dataclass
+class _Outer:
+    inner: _Inner
+    table: dict
+    seeds: list = field(default_factory=list)
+
+
+def scenario_result(**overrides) -> ScenarioResult:
+    base = dict(
+        name="SPR",
+        delivery_ratio=0.975,
+        mean_hops=2.5,
+        mean_latency=0.0123,
+        total_energy=1.5,
+        energy_variance=0.01,
+        lifetime=None,
+        control_frames=10,
+        data_frames=40,
+        bytes_sent=4096,
+        extras={"note": "x"},
+    )
+    base.update(overrides)
+    return ScenarioResult(**base)
+
+
+class TestPrimitives:
+    def test_scalars_pass_through(self):
+        for v in (None, True, 3, 2.5, "s"):
+            assert from_jsonable(to_jsonable(v)) == v
+
+    def test_tuple_survives_as_tuple(self):
+        v = (1, (2, 3), [4, 5])
+        out = from_jsonable(to_jsonable(v))
+        assert out == v and isinstance(out, tuple) and isinstance(out[1], tuple)
+
+    def test_non_string_dict_keys(self):
+        v = {1: "a", (2, 3): "b"}
+        assert from_jsonable(to_jsonable(v)) == v
+
+    def test_numpy_scalars_become_native(self):
+        out = to_jsonable({"a": np.float64(1.5), "b": np.int64(7)})
+        assert out == {"a": 1.5, "b": 7}
+        assert type(out["a"]) is float and type(out["b"]) is int
+
+    def test_unregistered_dataclass_rejected(self):
+        @dataclass
+        class NotRegistered:
+            x: int
+
+        with pytest.raises(TypeError):
+            to_jsonable(NotRegistered(1))
+
+    def test_unserializable_object_rejected(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+
+class TestDataclassRoundTrip:
+    def test_nested_dataclasses(self):
+        obj = _Outer(
+            inner=_Inner(label="i", values=(1, 2.5)),
+            table={"a": _Inner(label="j", values=())},
+            seeds=[0, 1, 2],
+        )
+        assert loads(dumps(obj)) == obj
+
+    def test_injected_to_dict_from_dict_are_inverses(self):
+        obj = _Inner(label="k", values=(9,))
+        assert _Inner.from_dict(obj.to_dict()) == obj
+
+    def test_canonical_dumps_is_deterministic(self):
+        a = _Outer(inner=_Inner("x", ()), table={"b": 1, "a": 2})
+        b = _Outer(inner=_Inner("x", ()), table={"a": 2, "b": 1})
+        assert dumps(a) == dumps(b)
+
+
+class TestScenarioResult:
+    def test_round_trip(self):
+        r = scenario_result()
+        assert ScenarioResult.from_dict(r.to_dict()) == r
+        assert loads(dumps(r)) == r
+
+    def test_lifetime_none_round_trips(self):
+        r = scenario_result(lifetime=None)
+        assert loads(dumps(r)).lifetime is None
+
+    def test_row_and_headers_derive_from_dict_form(self):
+        r = scenario_result(lifetime=42.25)
+        assert len(r.row()) == len(ScenarioResult.HEADERS)
+        # The historical column contract must hold exactly.
+        assert ScenarioResult.HEADERS == [
+            "protocol", "delivery", "hops", "latency_ms", "energy_J",
+            "variance", "lifetime_s", "ctrl_frames", "data_frames", "bytes",
+        ]
+        assert r.row() == [
+            "SPR", 0.975, 2.5, 12.3, 1.5, 0.01, 42.2, 10, 40, 4096,
+        ]
+
+    def test_lifetime_none_renders_dash(self):
+        assert scenario_result(lifetime=None).row()[6] == "-"
+
+
+class TestRegistry:
+    def test_experiment_results_are_registered(self):
+        names = set(registered_types())
+        for expected in (
+            "ScenarioResult", "Fig2Result", "Table1Result",
+            "ArchitectureResult", "ScalabilityResult", "LifetimeComparison",
+            "GatewayCountResult", "SecurityOverheadResult",
+            "AttackMatrixResult", "RobustnessResult",
+            "MobilityOverheadResult", "LpBoundResult", "ExperimentResult",
+        ):
+            assert expected in names, expected

@@ -6,7 +6,6 @@ import pytest
 from repro.core.base import ProtocolConfig
 from repro.core.spr import SPR
 from repro.exceptions import RoutingError
-from repro.sim.engine import Simulator
 from repro.sim.network import build_sensor_network
 from repro.sim.radio import IEEE802154, Channel
 from repro.sim.trace import MetricsCollector
