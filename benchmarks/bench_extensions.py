@@ -19,24 +19,28 @@ from repro.core.mlr import MLR
 from repro.core.qos import LoadBalancedMLR
 from repro.core.spr import SPR
 from repro.core.topology_control import SleepScheduler
-from repro.sim.engine import Simulator
 from repro.sim.mobility import FeasiblePlaces, GatewaySchedule
-from repro.sim.network import build_sensor_network, grid_deployment
-from repro.sim.radio import IEEE802154, Channel
-from repro.sim.trace import MetricsCollector
+from repro.sim.network import grid_deployment
+from repro.world import WorldBuilder
 
 
 def _surge_run(cls, **kw):
     sensors = grid_deployment(6, 6, spacing=10.0)
     places = FeasiblePlaces.from_mapping({"L": (-10.0, 25.0), "R": (60.0, 25.0)})
-    net = build_sensor_network(
-        sensors, np.array([places.position("L"), places.position("R")]), comm_range=14.5
+    world = (
+        WorldBuilder()
+        .seed(9)
+        .sensors(sensors)
+        .gateways(np.array([places.position("L"), places.position("R")]))
+        .comm_range(14.5)
+        .ideal_radio()
+        .places(places)
+        .build()
     )
+    sim, net, ch = world.sim, world.network, world.channel
     g0, g1 = net.gateway_ids
     schedule = GatewaySchedule(places=places, rounds=[{g0: "L", g1: "R"}] * 3)
-    sim = Simulator(seed=9)
-    ch = Channel(sim, net, IEEE802154.ideal(), metrics=MetricsCollector())
-    proto = cls(sim, net, ch, schedule, **kw)
+    proto = world.attach(cls, schedule, **kw)
     hot = [s for s in net.sensor_ids if net.positions[s][0] <= 20.0]
     for r in range(3):
         sim.run(until=r * 10.0)
@@ -75,10 +79,17 @@ def test_sleep_scheduling_saves_energy(once):
     def run(duty_cycled: bool):
         rng = np.random.default_rng(3)
         sensors = rng.uniform(0, 60, size=(120, 2))
-        net = build_sensor_network(sensors, np.array([[30.0, 70.0]]), comm_range=30.0)
-        sim = Simulator(seed=4)
-        ch = Channel(sim, net, IEEE802154.ideal(), metrics=MetricsCollector())
-        spr = SPR(sim, net, ch)
+        world = (
+            WorldBuilder()
+            .seed(4)
+            .sensors(sensors)
+            .gateways(np.array([[30.0, 70.0]]))
+            .comm_range(30.0)
+            .ideal_radio()
+            .build()
+        )
+        sim, net, ch = world.sim, world.network, world.channel
+        spr = world.attach(SPR)
         senders = net.sensor_ids
         if duty_cycled:
             sched = SleepScheduler(net)

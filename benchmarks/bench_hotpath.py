@@ -1,0 +1,140 @@
+"""Hot-path microbenchmark: vectorized vs scalar radio fan-out.
+
+Broadcast floods dominate E4/E8/E9 sweeps, and each flood frame fans out
+to every neighbor of the sender — the per-neighbor loop in
+``Channel._begin_tx`` is where simulation time goes.  This benchmark
+floods a dense uniform field through both fan-out implementations (the
+NumPy-batched default and the pre-refactor scalar reference loop, kept
+as ``Channel(vectorized=False)``) and reports events/sec and fan-out
+(frame receptions)/sec for each, plus the speedup.
+
+Run standalone for JSON output::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --nodes 500 --json -
+
+The CI smoke job runs a small config with ``--min-speedup`` so a
+regression that makes the vectorized path slower than the reference loop
+fails loudly.  Both paths are draw-order stable, so their simulations
+are bit-identical — the benchmark asserts that too (same event count,
+same frame counts), making it a correctness check as well as a timer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+
+from repro.core.base import ProtocolConfig
+from repro.core.spr import SPR
+from repro.world import WorldBuilder
+
+#: target mean node degree of the benchmark field — dense enough that
+#: fan-out dominates, sparse enough that floods terminate quickly.
+_TARGET_DEGREE = 20.0
+_COMM_RANGE = 40.0
+
+
+def _field_size(n_nodes: int) -> float:
+    """Field edge giving roughly ``_TARGET_DEGREE`` neighbors per node."""
+    return math.sqrt(n_nodes * math.pi * _COMM_RANGE**2 / _TARGET_DEGREE)
+
+
+def run_flood(n_nodes: int, floods: int, vectorized: bool, seed: int = 0) -> dict:
+    """Flood the field ``floods`` times and time the simulation run."""
+    field = _field_size(n_nodes)
+    builder = (
+        WorldBuilder()
+        .seed(seed)
+        .uniform_sensors(n_nodes, field_size=field, topology_seed=seed)
+        .gateways([[field / 2.0, field / 2.0]])
+        .comm_range(_COMM_RANGE)
+        .ideal_radio()
+    )
+    if not vectorized:
+        builder.scalar_fanout()
+    world = builder.build()
+    # Table answering off: every discovery floods the whole field instead
+    # of being answered one hop out, which is the fan-out stress we want.
+    spr = world.attach(SPR, ProtocolConfig(table_answering=False))
+    world.network.neighbors(0)  # pre-warm the neighbor cache out of the timing
+
+    for k in range(floods):
+        world.sim.schedule(0.5 * k, spr.send_data, k % n_nodes)
+    t0 = time.perf_counter()
+    world.sim.run()
+    wall = time.perf_counter() - t0
+
+    m = world.metrics
+    receptions = int(sum(m.received.values()))
+    return {
+        "vectorized": vectorized,
+        "nodes": n_nodes,
+        "floods": floods,
+        "wall_clock_s": wall,
+        "events_processed": world.events_processed,
+        "events_per_sec": world.events_processed / wall,
+        "frames_sent": int(sum(m.sent.values())),
+        "receptions": receptions,
+        "fanout_per_sec": receptions / wall,
+    }
+
+
+def run_benchmark(n_nodes: int, floods: int, seed: int = 0) -> dict:
+    scalar = run_flood(n_nodes, floods, vectorized=False, seed=seed)
+    vectorized = run_flood(n_nodes, floods, vectorized=True, seed=seed)
+    # Draw-order stability: both paths must have simulated the same thing.
+    for key in ("events_processed", "frames_sent", "receptions"):
+        if scalar[key] != vectorized[key]:
+            raise AssertionError(
+                f"fan-out paths diverged on {key}: "
+                f"scalar={scalar[key]} vectorized={vectorized[key]}"
+            )
+    return {
+        "config": {"nodes": n_nodes, "floods": floods, "seed": seed,
+                   "comm_range": _COMM_RANGE, "field_size": _field_size(n_nodes)},
+        "scalar": scalar,
+        "vectorized": vectorized,
+        "speedup": scalar["wall_clock_s"] / vectorized["wall_clock_s"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=500)
+    parser.add_argument("--floods", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the JSON report here ('-' for stdout)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="exit non-zero when speedup falls below this")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(args.nodes, args.floods, seed=args.seed)
+    blob = json.dumps(report, indent=2)
+    if args.json == "-":
+        print(blob)
+    else:
+        if args.json:
+            with open(args.json, "w") as fh:
+                fh.write(blob + "\n")
+        s, v = report["scalar"], report["vectorized"]
+        print(f"nodes={args.nodes} floods={args.floods} "
+              f"events={v['events_processed']}")
+        print(f"scalar:     {s['wall_clock_s']:.3f}s  "
+              f"{s['events_per_sec']:,.0f} ev/s  {s['fanout_per_sec']:,.0f} rx/s")
+        print(f"vectorized: {v['wall_clock_s']:.3f}s  "
+              f"{v['events_per_sec']:,.0f} ev/s  {v['fanout_per_sec']:,.0f} rx/s")
+        print(f"speedup:    {report['speedup']:.2f}x")
+
+    if args.min_speedup is not None and report["speedup"] < args.min_speedup:
+        print(f"FAIL: speedup {report['speedup']:.2f}x < required "
+              f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,18 +14,11 @@ Run:  python examples/battlefield_secure_routing.py
 
 import numpy as np
 
+from repro import WorldBuilder
 from repro.analysis import format_table
 from repro.core import MLR, SecMLR
 from repro.security import ReplayAttacker, SinkholeAttacker, compromise
-from repro.sim import (
-    Channel,
-    FeasiblePlaces,
-    GatewaySchedule,
-    IEEE802154,
-    Simulator,
-    build_sensor_network,
-    uniform_deployment,
-)
+from repro.sim import FeasiblePlaces, GatewaySchedule, uniform_deployment
 
 FIELD = 200.0
 ROUND = 6.0
@@ -41,11 +34,19 @@ def battle(protocol_cls, label: str) -> list:
     })
     sensors = uniform_deployment(n=60, field_size=FIELD, seed=21)
     initial = [places.position("FOB-alpha"), places.position("FOB-bravo")]
-    network = build_sensor_network(sensors, np.asarray(initial), comm_range=50.0)
-    sim = Simulator(seed=9)
-    channel = Channel(sim, network, IEEE802154.ideal())
+    world = (
+        WorldBuilder()
+        .seed(9)
+        .sensors(sensors)
+        .gateways(np.asarray(initial))
+        .comm_range(50.0)
+        .ideal_radio()
+        .places(places)
+        .build()
+    )
+    sim, network = world.sim, world.network
     schedule = GatewaySchedule.rotating(places, network.gateway_ids, num_rounds=ROUNDS, seed=2)
-    protocol = protocol_cls(sim, network, channel, schedule)
+    protocol = world.attach(protocol_cls, schedule)
 
     # The adversary captured two sensors: one central (sinkhole), one near
     # a gateway (replays everything it forwards).
@@ -68,7 +69,7 @@ def battle(protocol_cls, label: str) -> list:
             sim.schedule(2.2 + (i % 59) * 1e-3, protocol.send_data, s)
     sim.run()
 
-    m = channel.metrics
+    m = world.metrics
     from collections import Counter
 
     copies = Counter((r.origin, r.uid) for r in m.deliveries)

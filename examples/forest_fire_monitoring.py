@@ -18,17 +18,10 @@ Run:  python examples/forest_fire_monitoring.py
 
 import numpy as np
 
+from repro import WorldBuilder
 from repro.analysis import energy_balance_index, energy_stats, format_table
 from repro.core import MLR
-from repro.sim import (
-    Channel,
-    FeasiblePlaces,
-    GatewaySchedule,
-    IEEE802154,
-    Simulator,
-    build_sensor_network,
-    uniform_deployment,
-)
+from repro.sim import FeasiblePlaces, GatewaySchedule, uniform_deployment
 
 FIELD = 260.0
 ROUND = 8.0
@@ -44,17 +37,23 @@ def main() -> None:
     })
     sensors = uniform_deployment(n=90, field_size=FIELD, seed=11)
     initial = [places.position("north-clearing"), places.position("south-clearing")]
-    network = build_sensor_network(
-        sensors, np.asarray(initial), comm_range=55.0, sensor_battery=0.08
+    world = (
+        WorldBuilder()
+        .seed(3)
+        .sensors(sensors)
+        .gateways(np.asarray(initial))
+        .comm_range(55.0)
+        .sensor_battery(0.08)
+        .ideal_radio()
+        .places(places)
+        .build()
     )
-
-    sim = Simulator(seed=3)
-    channel = Channel(sim, network, IEEE802154.ideal())
+    sim, network = world.sim, world.network
     num_rounds = 12
     schedule = GatewaySchedule.rotating(
         places, network.gateway_ids, num_rounds=num_rounds, seed=5
     )
-    mlr = MLR(sim, network, channel, schedule)
+    mlr = world.attach(MLR, schedule)
 
     # The fire: sensors in the NE corner report at 8x rate from round 6 on.
     corner = [
@@ -73,7 +72,7 @@ def main() -> None:
                 sim.schedule(2.0 + 0.4 * k + (i % 89) * 1e-3, mlr.send_data, s)
     sim.run()
 
-    m = channel.metrics
+    m = world.metrics
     e = energy_stats(network)
     dead = [s for s in network.sensor_ids if not network.nodes[s].alive]
     print(format_table(

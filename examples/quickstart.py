@@ -12,33 +12,38 @@ This is the smallest end-to-end use of the library's public API:
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
+from repro import WorldBuilder
 from repro.analysis import energy_stats, format_table, hop_histogram
 from repro.core import SPR
-from repro.sim import Channel, IEEE802154, Simulator, build_sensor_network, uniform_deployment
+from repro.sim import IEEE802154
 
 def main() -> None:
-    # --- 1. deployment ---------------------------------------------------
+    # --- 1. deployment + wiring ------------------------------------------
     # 120 sensors uniformly over a 300 m x 300 m field, three wireless mesh
-    # gateways (WMGs) spread across it.
-    sensors = uniform_deployment(n=120, field_size=300.0, seed=42)
-    gateways = np.array([[60.0, 60.0], [240.0, 240.0], [60.0, 240.0]])
-    network = build_sensor_network(sensors, gateways, comm_range=60.0)
+    # gateways (WMGs) spread across it.  WorldBuilder wires the simulator,
+    # topology, radio channel and metrics together in one place.
+    world = (
+        WorldBuilder()
+        .seed(7)                                              # protocol seed
+        .uniform_sensors(120, field_size=300.0, topology_seed=42)
+        .gateways([[60.0, 60.0], [240.0, 240.0], [60.0, 240.0]])
+        .comm_range(60.0)
+        .radio(IEEE802154)              # CSMA, collisions, 250 kb/s
+        .build()
+    )
+    sim, network = world.sim, world.network
     print(f"deployed {len(network.sensor_ids)} sensors, "
           f"{len(network.gateway_ids)} gateways; "
           f"collection-connected: {network.is_collection_connected()}")
 
-    # --- 2. simulator + protocol -----------------------------------------
+    # --- 2. protocol ------------------------------------------------------
     from repro.core import ProtocolConfig
 
-    sim = Simulator(seed=7)
-    channel = Channel(sim, network, IEEE802154)  # CSMA, collisions, 250 kb/s
     # On a contention radio, give discovery room to breathe: longer
     # response timeout and flood-rebroadcast jitter (see ProtocolConfig).
-    spr = SPR(sim, network, channel,
-              ProtocolConfig(discovery_timeout=0.5, flood_jitter=0.03,
-                             max_discovery_attempts=5))
+    spr = world.attach(SPR,
+                       ProtocolConfig(discovery_timeout=0.5, flood_jitter=0.03,
+                                      max_discovery_attempts=5))
 
     # --- 3. traffic --------------------------------------------------------
     # Every sensor reports two readings on its own schedule — sensors in
@@ -50,7 +55,7 @@ def main() -> None:
     sim.run()
 
     # --- 4. results --------------------------------------------------------
-    m = channel.metrics
+    m = world.metrics
     e = energy_stats(network)
     print(format_table(
         ["metric", "value"],

@@ -7,7 +7,7 @@ Environments"* (IJICS 12(4), 2007).
 
 Public API re-exports the pieces a downstream user composes:
 
->>> from repro import Simulator, Channel, build_sensor_network, SPR
+>>> from repro import WorldBuilder, SPR
 >>> # see README.md for the full quickstart
 
 Subpackages: :mod:`repro.sim` (substrate), :mod:`repro.core` (protocols),
@@ -36,6 +36,7 @@ from repro.sim import (
     grid_deployment,
     uniform_deployment,
 )
+from repro.world import World, WorldBuilder, record_world_events
 from repro.core import (
     MLR,
     SPR,
@@ -80,6 +81,10 @@ __all__ = [
     "grid_deployment",
     "FeasiblePlaces",
     "GatewaySchedule",
+    # composition root
+    "World",
+    "WorldBuilder",
+    "record_world_events",
     # protocols
     "SPR",
     "MLR",

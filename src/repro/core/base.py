@@ -1,105 +1,53 @@
-"""Shared on-demand discovery machinery for SPR / MLR / SecMLR.
+"""Composition of the three protocol layers into one node stack.
 
-This module implements the five-step protocol skeleton of Section 5.2 once,
-with the hooks the three protocols specialise:
+The five-step machinery of Section 5.2 is implemented once across three
+layer modules, and :class:`DiscoveryProtocol` stacks them:
 
-Step 1
-    ``send_data`` checks the local routing table; with a usable entry the
-    DATA goes straight out, otherwise the payload is queued and a
-    discovery starts.
-Step 2
-    Discovery floods an RREQ naming its target gateways.  Duplicate
-    suppression is per ``(origin, seq)``.
-Step 3
-    Intermediate nodes holding a matching route answer from their tables
-    instead of re-flooding (Property 1 — the ``table_answering`` switch
-    exists so the ablation benchmark can turn it off); gateways answer
-    with the accumulated path.  Responses travel hop-by-hop back along
-    the reverse of the recorded path.
-Step 4
-    After ``discovery_timeout`` the source picks the least-hop response
-    (ties break on gateway id) and installs the entry.
-Step 5
-    The first DATA packet carries the source route; every node it
-    traverses installs its path suffix (Property 1 again), and subsequent
-    packets are forwarded from tables only.
+* :class:`repro.core.policy.ProtocolPolicy` — what a protocol *decides*:
+  table keys, discovery targets, frame decoration/validation, NOTIFY
+  semantics.  SPR/MLR/SecMLR specialise this layer.
+* :class:`repro.core.discovery.FloodDiscoveryEngine` — Steps 2-4: RREQ
+  flood with duplicate suppression, Property-1 table answering, RRES
+  hop-back, least-hop selection with retry/backoff.
+* :class:`repro.core.dataplane.DataPlaneForwarder` — Steps 1 and 5:
+  table-driven DATA forwarding, source-routed announcements, RERR route
+  repair.
 
-Fault handling: forwarders check next-hop liveness (the abstraction of a
-HELLO/link-layer beacon) and return a RERR carrying the stranded payload
-back to the source, which removes the broken entry and redirects via
-another gateway — the paper's fault-tolerance behaviour ("sensor nodes may
-redirect data transmission using other routes", Section 8).
+The layers are mixins rather than delegate objects on purpose: the
+concrete protocols override internals across all three (MLR retargets
+``_finish_discovery`` and ``_dispatch_or_queue``; SecMLR wraps
+``_table_answer``, ``_transmit_data``, ``_on_data``), and a single class
+per protocol keeps every such override resolvable on ``self`` with no
+forwarding shims.
 
-Attack instrumentation: a compromised node's behaviour object (see
-:mod:`repro.security.attacks`) is consulted before normal processing and
-may suppress, mutate or fabricate traffic.
+This module keeps what is genuinely shared plumbing: per-node state,
+handler wiring onto the network's nodes, the packet-kind dispatcher and
+the attack-behaviour interception point (a compromised node's behaviour
+object — see :mod:`repro.security.attacks` — is consulted before normal
+processing and may suppress, mutate or fabricate traffic).
+
+:class:`ProtocolConfig` is re-exported here for compatibility; it lives
+in :mod:`repro.core.policy`.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Hashable, Iterable, Optional
+from typing import Any, Hashable, Optional
 
-from repro.exceptions import RoutingError
-from repro.core.routing_table import RouteEntry, RoutingTable
+from repro.core.dataplane import DataPlaneForwarder
+from repro.core.discovery import FloodDiscoveryEngine, _DiscoveryState  # noqa: F401 (re-export)
+from repro.core.policy import ProtocolConfig, ProtocolPolicy
+from repro.core.routing_table import RoutingTable
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
-from repro.sim.node import NodeKind
-from repro.sim.packet import DATA_PAYLOAD_BYTES, Packet, PacketKind
+from repro.sim.packet import Packet, PacketKind
 from repro.sim.radio import Channel
 
 __all__ = ["ProtocolConfig", "DiscoveryProtocol"]
 
 
-@dataclass(frozen=True)
-class ProtocolConfig:
-    """Tunables shared by all protocols in :mod:`repro.core`."""
-
-    discovery_timeout: float = 0.25
-    """Seconds a source waits collecting RRES before choosing (Step 4)."""
-
-    gateway_collect_timeout: float = 0.0
-    """Seconds a gateway buffers RREQ copies before answering with the
-    least-hop path; 0 answers the first copy immediately (plain SPR).
-    SecMLR sets this per Section 6.2.2."""
-
-    table_answering: bool = True
-    """Property-1 optimisation: nodes with a matching route answer RREQs
-    from their tables and do not re-flood."""
-
-    max_discovery_attempts: int = 3
-    """Discovery retries before queued data is dropped as unroutable."""
-
-    data_payload_bytes: int = DATA_PAYLOAD_BYTES
-    control_payload_bytes: int = 8
-    ttl: int = 32
-    """Flood TTL (max hops, Section 2.2.1 style bound)."""
-
-    repair_routes: bool = True
-    """Send RERR to the source on a dead next hop and redirect."""
-
-    flood_jitter: float = 0.01
-    """Random delay before re-broadcasting a flood frame, applied only on
-    contention radios (CSMA enabled).  Desynchronises rebroadcasts so a
-    flood does not collide with itself at every hidden terminal; on the
-    ideal radio it stays zero so floods arrive in BFS order."""
-
-    max_repairs_per_packet: int = 3
-    """Redirect attempts before a data packet is abandoned.  Bounds the
-    repair loop when stale tables keep advertising routes through dead
-    nodes faster than RERRs purge them."""
-
-
-@dataclass
-class _DiscoveryState:
-    seq: int
-    targets: dict[int, Hashable]  # gateway id -> table key
-    responses: list[RouteEntry] = field(default_factory=list)
-    attempts: int = 1
-
-
-class DiscoveryProtocol:
+class DiscoveryProtocol(ProtocolPolicy, FloodDiscoveryEngine, DataPlaneForwarder):
     """Base class wiring protocol handlers onto every node of a network.
 
     Subclasses implement the key policy methods (:meth:`entry_key_for`,
@@ -144,250 +92,11 @@ class DiscoveryProtocol:
             node.handler = self._make_handler(node.node_id)
 
     # ------------------------------------------------------------------
-    # policy hooks (overridden by SPR / MLR / SecMLR)
+    # introspection
     # ------------------------------------------------------------------
-    def entry_key_for(self, gateway_id: int) -> Hashable:
-        """Routing-table key under which routes to this gateway live."""
-        return gateway_id
-
-    def discovery_targets(self, source: int) -> dict[int, Hashable]:
-        """Gateways (id -> key) a new discovery from ``source`` should query."""
-        return {g: self.entry_key_for(g) for g in self.network.gateway_ids}
-
-    def active_keys(self, node_id: int) -> Optional[Iterable[Hashable]]:
-        """Table keys usable *right now* (None = all keys usable)."""
-        return None
-
-    def gateway_for_key(self, node_id: int, key: Hashable, recorded: int) -> int:
-        """The gateway node currently serving ``key`` (MLR rebinds places)."""
-        return recorded
-
-    # -- security hooks (SecMLR overrides) ------------------------------
-    def decorate_rreq(self, source: int, packet: Packet, targets: dict[int, Hashable]) -> Packet:
-        return packet
-
-    def gateway_accepts_rreq(self, gateway: int, packet: Packet) -> bool:
-        return True
-
-    def decorate_rres(self, gateway: int, packet: Packet, origin: int) -> Packet:
-        return packet
-
-    def source_accepts_rres(self, source: int, packet: Packet) -> bool:
-        return True
-
-    def on_rres_hop(self, node_id: int, packet: Packet) -> None:
-        """Called at every node an RRES traverses (SecMLR installs 4-tuples)."""
-
-    def decorate_data(self, source: int, packet: Packet, entry: RouteEntry) -> Packet:
-        return packet
-
-    def gateway_accepts_data(self, gateway: int, packet: Packet) -> bool:
-        return True
-
-    # ------------------------------------------------------------------
-    # public API
-    # ------------------------------------------------------------------
-    def send_data(self, source: int, payload_bytes: Optional[int] = None) -> int:
-        """Application call: sensor ``source`` has one sensed datum to report.
-
-        Returns the data id used in delivery records.  Implements Step 1:
-        route from table when possible, otherwise queue + discover.
-        """
-        node = self.network.nodes[source]
-        if node.kind is not NodeKind.SENSOR:
-            raise RoutingError(f"only sensors generate data (node {source} is {node.kind})")
-        data_id = next(self._data_ids)
-        self.metrics.on_data_generated()
-        if not node.alive:
-            self.metrics.on_drop("dead_source")
-            return data_id
-        payload = {
-            "data_id": data_id,
-            "bytes": payload_bytes if payload_bytes is not None else self.config.data_payload_bytes,
-        }
-        self._dispatch_or_queue(source, payload)
-        return data_id
-
     def routing_table(self, node_id: int) -> RoutingTable:
         """The routing table of ``node_id`` (introspection/testing)."""
         return self.tables[node_id]
-
-    # ------------------------------------------------------------------
-    # data path
-    # ------------------------------------------------------------------
-    def _dispatch_or_queue(self, source: int, payload: dict[str, Any]) -> None:
-        entry = self.tables[source].best(self.active_keys(source))
-        if entry is not None:
-            self._transmit_data(source, entry, payload)
-            return
-        self._pending_data.setdefault(source, []).append(payload)
-        if source not in self._discovery:
-            self._start_discovery(source)
-
-    def _transmit_data(self, source: int, entry: RouteEntry, payload: dict[str, Any]) -> None:
-        gateway = self.gateway_for_key(source, entry.key, entry.gateway)
-        path = entry.path[:-1] + (gateway,)
-        # Source-route the first packet over this entry so intermediate
-        # nodes install their suffixes (Step 5.1/5.2); afterwards the path
-        # field stays empty (Step 5.3).
-        announce_key = (source, entry.key, path)
-        source_routed = announce_key not in self._announced
-        pkt = Packet(
-            kind=PacketKind.DATA,
-            origin=source,
-            target=gateway,
-            path=path if source_routed else (),
-            payload={
-                **payload,
-                "key": entry.key,
-                "traversed": [source],
-            },
-            payload_bytes=payload["bytes"],
-            created_at=self.sim.now,
-        )
-        pkt = self.decorate_data(source, pkt, entry)
-        if source_routed:
-            self._announced.add(announce_key)
-        next_hop = path[1] if len(path) > 1 else gateway
-        self._forward_data(source, pkt, next_hop)
-
-    def _valid_node(self, node_id) -> bool:
-        """Packet fields are attacker-controlled; validate before indexing."""
-        return isinstance(node_id, int) and 0 <= node_id < len(self.network.nodes)
-
-    def _forward_data(self, node_id: int, pkt: Packet, next_hop: int) -> None:
-        behavior = self.behaviors.get(node_id)
-        if behavior is not None and behavior.drop_outgoing_data(pkt):
-            self.metrics.on_drop("blackhole")
-            return
-        if not self._valid_node(next_hop):
-            self.metrics.on_drop("misrouted")
-            return
-        if not self.network.nodes[next_hop].alive:
-            self.metrics.on_drop("dead_next_hop")
-            if self.config.repair_routes:
-                self._report_route_error(node_id, pkt)
-            return
-        self.channel.send(node_id, pkt.with_hop(node_id, next_hop))
-
-    def _report_route_error(self, detector: int, pkt: Packet) -> None:
-        """Send the stranded payload back to the source along ``traversed``."""
-        traversed = list(pkt.payload.get("traversed", ()))
-        key = pkt.payload.get("key")
-        if pkt.origin == detector:
-            self._handle_route_error_at_source(detector, key, pkt.payload)
-            return
-        if not traversed or detector not in traversed:
-            self.metrics.on_drop("unrepairable")
-            return
-        idx = traversed.index(detector)
-        if idx == 0:
-            self.metrics.on_drop("unrepairable")
-            return
-        back = traversed[: idx + 1]
-        rerr = Packet(
-            kind=PacketKind.RERR,
-            origin=detector,
-            target=pkt.origin,
-            dst=back[idx - 1],
-            payload={
-                "key": key,
-                "back_path": back,
-                # "pos" is always the index of the node currently holding
-                # the RERR; the receiver's index is idx - 1.
-                "pos": idx - 1,
-                "data": {
-                    k: v for k, v in pkt.payload.items()
-                    if k in ("data_id", "bytes", "repairs")
-                },
-            },
-            payload_bytes=self.config.control_payload_bytes + pkt.payload.get("bytes", 0),
-            created_at=pkt.created_at,
-        )
-        self.channel.send(detector, rerr)
-
-    def _handle_route_error_at_source(self, source: int, key: Hashable, data_payload: dict) -> None:
-        self.tables[source].remove(key)
-        # Force the next packet on a re-discovered route to carry the
-        # source route again (downstream entries may be missing).
-        self._announced = {
-            a for a in self._announced if not (a[0] == source and a[1] == key)
-        }
-        repairs = data_payload.get("repairs", 0) + 1
-        if repairs > self.config.max_repairs_per_packet:
-            self.metrics.on_drop("unrepairable")
-            return
-        payload = {
-            "data_id": data_payload["data_id"],
-            "bytes": data_payload["bytes"],
-            "repairs": repairs,
-        }
-        self._dispatch_or_queue(source, payload)
-
-    # ------------------------------------------------------------------
-    # discovery (Steps 2-4)
-    # ------------------------------------------------------------------
-    def _start_discovery(self, source: int, attempts: int = 1) -> None:
-        targets = self.discovery_targets(source)
-        if not targets:
-            self._fail_discovery(source)
-            return
-        seq = next(self._seq)
-        self._discovery[source] = _DiscoveryState(seq=seq, targets=targets, attempts=attempts)
-        pkt = Packet(
-            kind=PacketKind.RREQ,
-            origin=source,
-            target=None,
-            path=(source,),
-            payload={"seq": seq, "targets": dict(targets)},
-            payload_bytes=self.config.control_payload_bytes,
-            ttl=self.config.ttl,
-            created_at=self.sim.now,
-        )
-        pkt = self.decorate_rreq(source, pkt, targets)
-        self._seen_floods[source].add((source, seq))
-        self.channel.send(source, pkt.fork(src=source, dst=None))
-        self.sim.schedule(self.config.discovery_timeout, self._finish_discovery, source, seq)
-
-    def _finish_discovery(self, source: int, seq: int) -> None:
-        state = self._discovery.get(source)
-        if state is None or state.seq != seq:
-            return  # superseded
-        if not state.responses:
-            del self._discovery[source]
-            if state.attempts < self.config.max_discovery_attempts:
-                self._schedule_retry(source, state.attempts)
-            else:
-                self._fail_discovery(source)
-            return
-        best = min(state.responses, key=lambda e: (e.hops, e.gateway))
-        self.tables[source].install(best, replace_worse_only=True)
-        del self._discovery[source]
-        for payload in self._pending_data.pop(source, []):
-            self._dispatch_or_queue(source, payload)
-
-    def _schedule_retry(self, source: int, attempts: int) -> None:
-        """Back off linearly between discovery attempts.
-
-        Immediate re-flooding after a timeout amplifies exactly the
-        congestion that caused the timeout; spreading retries lets the
-        channel drain (only matters on contention radios, but is harmless
-        on the ideal one).
-        """
-        delay = 0.0
-        if self.channel.config.csma:
-            delay = attempts * self.config.discovery_timeout
-            delay += float(self.sim.rng.uniform(0.0, self.config.discovery_timeout))
-        self.sim.schedule(delay, self._retry_discovery, source, attempts)
-
-    def _retry_discovery(self, source: int, attempts: int) -> None:
-        if source in self._discovery or not self.network.nodes[source].alive:
-            return
-        self._start_discovery(source, attempts=attempts + 1)
-
-    def _fail_discovery(self, source: int) -> None:
-        for _ in self._pending_data.pop(source, []):
-            self.metrics.on_drop("no_route")
 
     # ------------------------------------------------------------------
     # packet dispatch
@@ -414,239 +123,3 @@ class DiscoveryProtocol:
             self._on_notify(node_id, pkt)
         elif pkt.kind is PacketKind.HELLO:
             self._on_hello(node_id, pkt)
-
-    # -- RREQ ------------------------------------------------------------
-    def _on_rreq(self, node_id: int, pkt: Packet) -> None:
-        key = (pkt.origin, pkt.payload["seq"])
-        node = self.network.nodes[node_id]
-        targets: dict[int, Hashable] = pkt.payload["targets"]
-
-        if node.kind is NodeKind.GATEWAY:
-            if node_id not in targets:
-                return
-            if not self.gateway_accepts_rreq(node_id, pkt):
-                return
-            self._gateway_handle_rreq(node_id, pkt)
-            return
-
-        if key in self._seen_floods[node_id] or node_id in pkt.path:
-            return
-        self._seen_floods[node_id].add(key)
-
-        if self.config.table_answering:
-            answer = self._table_answer(node_id, targets)
-            if answer is not None:
-                full_path = pkt.path + answer.path
-                self._send_rres(node_id, pkt.origin, full_path, answer.key, answer.gateway, pkt)
-                return
-
-        if pkt.ttl <= 1:
-            self.metrics.on_drop("ttl")
-            return
-        fwd = pkt.fork(path=pkt.path + (node_id,), src=node_id, dst=None, ttl=pkt.ttl - 1,
-                       hop_count=pkt.hop_count + 1)
-        self._flood_send(node_id, fwd)
-
-    def _flood_send(self, node_id: int, pkt: Packet) -> None:
-        """Re-broadcast a flood frame, jittered on contention radios."""
-        if self.channel.config.csma and self.config.flood_jitter > 0:
-            delay = float(self.sim.rng.uniform(0.0, self.config.flood_jitter))
-            self.sim.schedule(delay, self.channel.send, node_id, pkt)
-        else:
-            self.channel.send(node_id, pkt)
-
-    def _table_answer(self, node_id: int, targets: dict[int, Hashable]) -> Optional[RouteEntry]:
-        """Least-hop local entry matching any requested key (Property 1)."""
-        wanted = set(targets.values())
-        table = self.tables[node_id]
-        candidates = [e for e in table.entries() if e.key in wanted]
-        return min(candidates, key=lambda e: (e.hops, e.gateway), default=None)
-
-    def gateway_answer_key(self, gateway: int, requested_key: Hashable) -> Hashable:
-        """The key a gateway stamps on its response.
-
-        MLR overrides this to the gateway's *true* current place: a sensor
-        whose beliefs were poisoned (e.g. by a forged NOTIFY) may ask for
-        the wrong place, but the authoritative answer always names where
-        the gateway actually is.
-        """
-        return requested_key
-
-    def _gateway_handle_rreq(self, gateway: int, pkt: Packet) -> None:
-        path = pkt.path + (gateway,)
-        key = self.gateway_answer_key(gateway, pkt.payload["targets"][gateway])
-        if self.config.gateway_collect_timeout <= 0:
-            flood = (pkt.origin, pkt.payload["seq"])
-            if flood in self._seen_floods[gateway]:
-                return
-            self._seen_floods[gateway].add(flood)
-            self._send_rres(gateway, pkt.origin, path, key, gateway, pkt)
-            return
-        # SecMLR-style collection: buffer paths, answer once with the best.
-        bucket_key = (gateway, pkt.origin, pkt.payload["seq"])
-        bucket = self._collect_buckets.setdefault(bucket_key, [])
-        bucket.append(path)
-        if len(bucket) == 1:
-            self.sim.schedule(
-                self.config.gateway_collect_timeout,
-                self._gateway_answer_collected,
-                bucket_key,
-                key,
-                pkt,
-            )
-
-    def _gateway_answer_collected(self, bucket_key, key: Hashable, pkt: Packet) -> None:
-        gateway, origin, _seq = bucket_key
-        paths = self._collect_buckets.pop(bucket_key, [])
-        if not paths or not self.network.nodes[gateway].alive:
-            return
-        best = min(paths, key=len)  # path_ij = Min(|path_ij(k)|), Section 6.2.2
-        self._send_rres(gateway, origin, best, key, gateway, pkt)
-
-    def _send_rres(
-        self,
-        responder: int,
-        origin: int,
-        full_path: tuple[int, ...],
-        key: Hashable,
-        gateway: int,
-        request: Packet,
-    ) -> None:
-        """Unicast a routing response back along ``full_path`` toward origin."""
-        pos = full_path.index(responder)
-        pkt = Packet(
-            kind=PacketKind.RRES,
-            origin=responder,
-            target=origin,
-            path=full_path,
-            payload={
-                "key": key,
-                "gw": gateway,
-                "pos": pos,
-                "seq": request.payload["seq"],
-            },
-            payload_bytes=self.config.control_payload_bytes,
-            created_at=self.sim.now,
-        )
-        pkt = self.decorate_rres(responder, pkt, origin)
-        if pos == 0:
-            # responder is the origin's neighbor table case — degenerate
-            self._accept_rres(origin, pkt)
-            return
-        self._forward_rres(responder, pkt, pos)
-
-    def _forward_rres(self, node_id: int, pkt: Packet, pos: int) -> None:
-        prev = pkt.path[pos - 1]
-        if not self._valid_node(prev):
-            self.metrics.on_drop("misrouted")
-            return
-        if not self.network.nodes[prev].alive:
-            self.metrics.on_drop("dead_next_hop")
-            return
-        nxt = pkt.fork(src=node_id, dst=prev, hop_count=pkt.hop_count + 1)
-        nxt.payload["pos"] = pos - 1
-        self.channel.send(node_id, nxt)
-
-    def _on_rres(self, node_id: int, pkt: Packet) -> None:
-        pos = pkt.payload["pos"]
-        if pos >= len(pkt.path) or pkt.path[pos] != node_id:
-            self.metrics.on_drop("misrouted")
-            return
-        if node_id == pkt.target and pos == 0:
-            # The source verifies BEFORE installing anything: a forged or
-            # altered response must not leave state behind.
-            self._accept_rres(node_id, pkt)
-            return
-        self.on_rres_hop(node_id, pkt)
-        self._forward_rres(node_id, pkt, pos)
-
-    def _accept_rres(self, source: int, pkt: Packet) -> None:
-        if not self.source_accepts_rres(source, pkt):
-            return
-        self.on_rres_hop(source, pkt)
-        state = self._discovery.get(source)
-        entry = RouteEntry(key=pkt.payload["key"], gateway=pkt.payload["gw"], path=tuple(pkt.path))
-        if state is not None and state.seq == pkt.payload.get("seq"):
-            state.responses.append(entry)
-        else:
-            # Late response: still useful, install if better.
-            self.tables[source].install(entry, replace_worse_only=True)
-
-    # -- DATA ------------------------------------------------------------
-    def _on_data(self, node_id: int, pkt: Packet) -> None:
-        node = self.network.nodes[node_id]
-        if node.kind is NodeKind.GATEWAY:
-            if not self.gateway_accepts_data(node_id, pkt):
-                return
-            self.metrics.on_data_delivered(pkt, node_id, self.sim.now)
-            if self.delivery_callback is not None:
-                self.delivery_callback(pkt, node_id)
-            return
-
-        traversed = list(pkt.payload.get("traversed", ()))
-        if node_id in traversed or pkt.ttl <= 0:
-            # Routing loop (stale entries can point at each other after
-            # repairs) or hop budget exhausted: drop and purge the local
-            # entry so the loop cannot re-form from this node's table.
-            self.metrics.on_drop("loop" if node_id in traversed else "ttl")
-            self.tables[node_id].remove(pkt.payload.get("key"))
-            return
-        traversed.append(node_id)
-        fwd = pkt.fork()
-        fwd.payload["traversed"] = traversed
-
-        if pkt.path:
-            # First packet on this route: install the suffix (Step 5.2).
-            try:
-                i = pkt.path.index(node_id)
-            except ValueError:
-                self.metrics.on_drop("misrouted")
-                return
-            suffix = RouteEntry(key=pkt.payload["key"], gateway=pkt.path[-1], path=pkt.path[i:])
-            self.tables[node_id].install(suffix, replace_worse_only=True)
-            if i + 1 >= len(pkt.path):
-                self.metrics.on_drop("misrouted")
-                return
-            self._forward_data(node_id, fwd, pkt.path[i + 1])
-            return
-
-        entry = self.tables[node_id].get(pkt.payload.get("key"))
-        if entry is None:
-            # The source-routed announcement for this flow never reached us
-            # (lost or swallowed en route): bounce the payload back so the
-            # source re-announces / re-routes.
-            self.metrics.on_drop("no_route")
-            if self.config.repair_routes:
-                self._report_route_error(node_id, fwd)
-            return
-        next_hop = entry.next_hop if entry.hops > 0 else entry.gateway
-        next_hop = self.gateway_for_key(node_id, entry.key, next_hop) if entry.hops <= 1 else next_hop
-        self._forward_data(node_id, fwd, next_hop)
-
-    # -- RERR ------------------------------------------------------------
-    def _on_rerr(self, node_id: int, pkt: Packet) -> None:
-        pos = pkt.payload["pos"]
-        back = pkt.payload["back_path"]
-        if node_id == pkt.target:
-            self._handle_route_error_at_source(node_id, pkt.payload["key"], pkt.payload["data"])
-            return
-        if pos >= len(back) or back[pos] != node_id or pos == 0:
-            self.metrics.on_drop("misrouted")
-            return
-        # The downstream segment of this route is broken: purge the local
-        # entry so Property-1 table answering stops advertising it.
-        self.tables[node_id].remove(pkt.payload["key"])
-        prev = back[pos - 1]
-        if not self._valid_node(prev) or not self.network.nodes[prev].alive:
-            self.metrics.on_drop("unrepairable")
-            return
-        nxt = pkt.fork(src=node_id, dst=prev, hop_count=pkt.hop_count + 1)
-        nxt.payload["pos"] = pos - 1
-        self.channel.send(node_id, nxt)
-
-    # -- NOTIFY / HELLO ----------------------------------------------------
-    def _on_notify(self, node_id: int, pkt: Packet) -> None:
-        """Gateway place notifications only exist in MLR/SecMLR."""
-
-    def _on_hello(self, node_id: int, pkt: Packet) -> None:
-        """HELLO beacons are inert by default (used by the HELLO-flood attack)."""

@@ -1,0 +1,140 @@
+"""Protocol-policy layer: the knobs and hooks SPR / MLR / SecMLR implement.
+
+This is the thin top layer of the protocol stack.  The mechanism lives in
+the two layers below — :class:`repro.core.discovery.FloodDiscoveryEngine`
+(RREQ flood, table answering, RRES hop-back, least-hop selection) and
+:class:`repro.core.dataplane.DataPlaneForwarder` (source-routed first
+packet, table forwarding, RERR repair) — while everything a concrete
+protocol *decides* is declared here:
+
+* which routing-table keys exist and which gateways a discovery targets
+  (:meth:`ProtocolPolicy.entry_key_for`, :meth:`~ProtocolPolicy.discovery_targets`,
+  :meth:`~ProtocolPolicy.active_keys`, :meth:`~ProtocolPolicy.gateway_for_key`,
+  :meth:`~ProtocolPolicy.gateway_answer_key`) — SPR keys routes by gateway id,
+  MLR by feasible place;
+* how control/data frames are decorated and validated
+  (``decorate_* / *_accepts_* / on_rres_hop``) — SecMLR hangs its
+  4-tuple authentication off these;
+* what NOTIFY / HELLO frames mean (:meth:`~ProtocolPolicy.on_notify` via
+  ``_on_notify`` — place announcements in MLR/SecMLR, inert otherwise).
+
+The hooks are deliberately plain methods on a mixin (not a delegate
+object): the concrete protocols override internals of all three layers
+freely, and a single class per protocol keeps every override resolvable
+on ``self``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Optional
+
+from repro.core.routing_table import RouteEntry
+from repro.sim.packet import DATA_PAYLOAD_BYTES, Packet
+
+__all__ = ["ProtocolConfig", "ProtocolPolicy"]
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Tunables shared by all protocols in :mod:`repro.core`."""
+
+    discovery_timeout: float = 0.25
+    """Seconds a source waits collecting RRES before choosing (Step 4)."""
+
+    gateway_collect_timeout: float = 0.0
+    """Seconds a gateway buffers RREQ copies before answering with the
+    least-hop path; 0 answers the first copy immediately (plain SPR).
+    SecMLR sets this per Section 6.2.2."""
+
+    table_answering: bool = True
+    """Property-1 optimisation: nodes with a matching route answer RREQs
+    from their tables and do not re-flood."""
+
+    max_discovery_attempts: int = 3
+    """Discovery retries before queued data is dropped as unroutable."""
+
+    data_payload_bytes: int = DATA_PAYLOAD_BYTES
+    control_payload_bytes: int = 8
+    ttl: int = 32
+    """Flood TTL (max hops, Section 2.2.1 style bound)."""
+
+    repair_routes: bool = True
+    """Send RERR to the source on a dead next hop and redirect."""
+
+    flood_jitter: float = 0.01
+    """Random delay before re-broadcasting a flood frame, applied only on
+    contention radios (CSMA enabled).  Desynchronises rebroadcasts so a
+    flood does not collide with itself at every hidden terminal; on the
+    ideal radio it stays zero so floods arrive in BFS order."""
+
+    max_repairs_per_packet: int = 3
+    """Redirect attempts before a data packet is abandoned.  Bounds the
+    repair loop when stale tables keep advertising routes through dead
+    nodes faster than RERRs purge them."""
+
+
+class ProtocolPolicy:
+    """Default (SPR-shaped) policy decisions; subclasses specialise."""
+
+    # ------------------------------------------------------------------
+    # routing policy (overridden by SPR / MLR / SecMLR)
+    # ------------------------------------------------------------------
+    def entry_key_for(self, gateway_id: int) -> Hashable:
+        """Routing-table key under which routes to this gateway live."""
+        return gateway_id
+
+    def discovery_targets(self, source: int) -> dict[int, Hashable]:
+        """Gateways (id -> key) a new discovery from ``source`` should query."""
+        return {g: self.entry_key_for(g) for g in self.network.gateway_ids}
+
+    def active_keys(self, node_id: int) -> Optional[Iterable[Hashable]]:
+        """Table keys usable *right now* (None = all keys usable)."""
+        return None
+
+    def gateway_for_key(self, node_id: int, key: Hashable, recorded: int) -> int:
+        """The gateway node currently serving ``key`` (MLR rebinds places)."""
+        return recorded
+
+    def gateway_answer_key(self, gateway: int, requested_key: Hashable) -> Hashable:
+        """The key a gateway stamps on its response.
+
+        MLR overrides this to the gateway's *true* current place: a sensor
+        whose beliefs were poisoned (e.g. by a forged NOTIFY) may ask for
+        the wrong place, but the authoritative answer always names where
+        the gateway actually is.
+        """
+        return requested_key
+
+    # ------------------------------------------------------------------
+    # security hooks (SecMLR overrides)
+    # ------------------------------------------------------------------
+    def decorate_rreq(self, source: int, packet: Packet, targets: dict[int, Hashable]) -> Packet:
+        return packet
+
+    def gateway_accepts_rreq(self, gateway: int, packet: Packet) -> bool:
+        return True
+
+    def decorate_rres(self, gateway: int, packet: Packet, origin: int) -> Packet:
+        return packet
+
+    def source_accepts_rres(self, source: int, packet: Packet) -> bool:
+        return True
+
+    def on_rres_hop(self, node_id: int, packet: Packet) -> None:
+        """Called at every node an RRES traverses (SecMLR installs 4-tuples)."""
+
+    def decorate_data(self, source: int, packet: Packet, entry: RouteEntry) -> Packet:
+        return packet
+
+    def gateway_accepts_data(self, gateway: int, packet: Packet) -> bool:
+        return True
+
+    # ------------------------------------------------------------------
+    # auxiliary frame kinds
+    # ------------------------------------------------------------------
+    def _on_notify(self, node_id: int, pkt: Packet) -> None:
+        """Gateway place notifications only exist in MLR/SecMLR."""
+
+    def _on_hello(self, node_id: int, pkt: Packet) -> None:
+        """HELLO beacons are inert by default (used by the HELLO-flood attack)."""

@@ -30,14 +30,19 @@ class SPR(DiscoveryProtocol):
 
     Examples
     --------
-    Build a network, attach SPR and send one datum::
+    Build a world, attach SPR and send one datum::
 
-        sim = Simulator(seed=0)
-        net = build_sensor_network(sensors, gateways, comm_range=40)
-        channel = Channel(sim, net)
-        spr = SPR(sim, net, channel)
+        world = (
+            WorldBuilder()
+            .seed(0)
+            .sensors(sensors)
+            .gateways(gateways)
+            .comm_range(40)
+            .build()
+        )
+        spr = world.attach(SPR)
         spr.send_data(source=0)
-        sim.run()
+        world.sim.run()
     """
 
     def __init__(

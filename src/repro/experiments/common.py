@@ -1,9 +1,11 @@
 """Shared scenario construction and round-driving for the experiments.
 
-A *scenario* is (simulator, network, channel) plus optional feasible
-places; a *collection round* is the paper's unit of time: gateways hold
-still, every sensor reports ``packets_per_round`` data packets, then the
-next round may move gateways.
+A *scenario* is a composed :class:`repro.world.World` — simulator,
+network, channel, optional feasible places — built through
+:class:`repro.world.WorldBuilder`; a *collection round* is the paper's
+unit of time: gateways hold still, every sensor reports
+``packets_per_round`` data packets, then the next round may move
+gateways.
 """
 
 from __future__ import annotations
@@ -11,17 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
-import numpy as np
-
 from repro.analysis.stats import energy_stats
-from repro.exceptions import ConfigurationError, TopologyError
+from repro.exceptions import ConfigurationError
 from repro.sim.energy import EnergyModel
-from repro.sim.engine import Simulator
 from repro.sim.mobility import FeasiblePlaces
-from repro.sim.network import Network, build_sensor_network, uniform_deployment
-from repro.sim.radio import IEEE802154, Channel, RadioConfig
+from repro.sim.radio import IEEE802154, RadioConfig
 from repro.sim.serialize import serializable
-from repro.sim.trace import MetricsCollector
+from repro.world import World, WorldBuilder
 
 __all__ = [
     "Scenario",
@@ -39,18 +37,10 @@ def default_energy_model() -> EnergyModel:
     return EnergyModel()
 
 
-@dataclass
-class Scenario:
-    """A ready-to-run sensor-tier deployment."""
-
-    sim: Simulator
-    network: Network
-    channel: Channel
-    places: Optional[FeasiblePlaces] = None
-
-    @property
-    def metrics(self) -> MetricsCollector:
-        return self.channel.metrics
+#: A ready-to-run sensor-tier deployment.  Historically its own dataclass;
+#: now the composed world itself, so experiment code and world-level code
+#: speak the same type.
+Scenario = World
 
 
 #: (dict field, table header, cell formatter) — ``row()`` and ``HEADERS``
@@ -128,19 +118,19 @@ def make_uniform_scenario(
     require_connected: bool = True,
 ) -> Scenario:
     """Uniform random deployment with explicit gateway positions."""
-    sensors = uniform_deployment(n_sensors, field_size, seed=topology_seed)
-    network = build_sensor_network(
-        sensors, np.asarray(gateway_positions, dtype=float),
-        comm_range=comm_range, sensor_battery=sensor_battery,
+    builder = (
+        WorldBuilder()
+        .seed(protocol_seed)
+        .uniform_sensors(n_sensors, field_size, topology_seed=topology_seed)
+        .gateways(gateway_positions)
+        .comm_range(comm_range)
+        .sensor_battery(sensor_battery)
+        .radio(radio or IEEE802154.ideal())
+        .require_connected(require_connected)
     )
-    if require_connected and not network.is_collection_connected():
-        raise TopologyError(
-            f"deployment n={n_sensors}, field={field_size}, range={comm_range} "
-            "leaves sensors unreachable; densify or enlarge range"
-        )
-    sim = Simulator(seed=protocol_seed)
-    channel = Channel(sim, network, radio or IEEE802154.ideal(), energy_model, MetricsCollector())
-    return Scenario(sim=sim, network=network, channel=channel)
+    if energy_model is not None:
+        builder.energy(energy_model)
+    return builder.build()
 
 
 def make_grid_scenario(
@@ -155,17 +145,19 @@ def make_grid_scenario(
     energy_model: Optional[EnergyModel] = None,
 ) -> Scenario:
     """Regular grid deployment (deterministic topologies for tests)."""
-    from repro.sim.network import grid_deployment
-
-    sensors = grid_deployment(rows, cols, spacing)
-    rng = comm_range if comm_range is not None else spacing * 1.05
-    network = build_sensor_network(
-        sensors, np.asarray(gateway_positions, dtype=float),
-        comm_range=rng, sensor_battery=sensor_battery,
+    builder = (
+        WorldBuilder()
+        .seed(protocol_seed)
+        .grid_sensors(rows, cols, spacing)
+        .gateways(gateway_positions)
+        .sensor_battery(sensor_battery)
+        .radio(radio or IEEE802154.ideal())
     )
-    sim = Simulator(seed=protocol_seed)
-    channel = Channel(sim, network, radio or IEEE802154.ideal(), energy_model, MetricsCollector())
-    return Scenario(sim=sim, network=network, channel=channel)
+    if comm_range is not None:
+        builder.comm_range(comm_range)
+    if energy_model is not None:
+        builder.energy(energy_model)
+    return builder.build()
 
 
 def run_collection_rounds(

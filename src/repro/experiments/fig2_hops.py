@@ -19,11 +19,8 @@ import numpy as np
 from repro.analysis.tables import format_table
 from repro.baselines.flat import FlatSinkRouting
 from repro.core.spr import SPR
-from repro.sim.engine import Simulator
-from repro.sim.network import build_sensor_network
-from repro.sim.radio import IEEE802154, Channel
-from repro.sim.trace import MetricsCollector
 from repro.sim.serialize import serializable
+from repro.world import WorldBuilder
 
 __all__ = ["Fig2Result", "run_fig2", "build_fig2_positions"]
 
@@ -132,18 +129,22 @@ def _measure(sensor_names, positions, gateway_coords, protocol_cls, seed: int) -
     """Run a protocol on the Fig. 2 field and read S*'s delivered hop counts."""
     named = positions["named"]
     sensor_coords = [named[s] for s in sensor_names] + list(positions["relays"])
-    network = build_sensor_network(
-        np.asarray(sensor_coords), np.asarray(gateway_coords), comm_range=_COMM_RANGE
+    world = (
+        WorldBuilder()
+        .seed(seed)
+        .sensors(np.asarray(sensor_coords))
+        .gateways(np.asarray(gateway_coords))
+        .comm_range(_COMM_RANGE)
+        .ideal_radio()
+        .build()
     )
-    sim = Simulator(seed=seed)
-    channel = Channel(sim, network, IEEE802154.ideal(), metrics=MetricsCollector())
-    protocol = protocol_cls(sim, network, channel)
+    protocol = world.attach(protocol_cls)
     for idx in range(len(sensor_names)):
         protocol.send_data(idx)
-    sim.run()
+    world.sim.run()
     hops: dict[str, int] = {}
     served: dict[str, int] = {}
-    for rec in channel.metrics.deliveries:
+    for rec in world.metrics.deliveries:
         if rec.origin < len(sensor_names):
             name = sensor_names[rec.origin]
             hops[name] = rec.hops

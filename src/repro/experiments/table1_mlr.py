@@ -23,12 +23,9 @@ import numpy as np
 
 from repro.analysis.tables import format_table
 from repro.core.mlr import MLR
-from repro.sim.engine import Simulator
 from repro.sim.mobility import FeasiblePlaces, GatewaySchedule
-from repro.sim.network import build_sensor_network
-from repro.sim.radio import IEEE802154, Channel
-from repro.sim.trace import MetricsCollector
 from repro.sim.serialize import serializable
+from repro.world import WorldBuilder
 
 __all__ = ["Table1Result", "run_table1", "PAPER_TABLE1"]
 
@@ -107,8 +104,17 @@ def run_table1(seed: int = 0, round_duration: float = 20.0) -> Table1Result:
     sensors, places, si = build_table1_topology()
     # Three gateways; initial places A, B, C (they will be moved by MLR).
     gw_positions = np.asarray([places.position(p) for p in ("A", "B", "C")])
-    network = build_sensor_network(sensors, gw_positions, comm_range=_COMM_RANGE)
-    g0, g1, g2 = network.gateway_ids
+    world = (
+        WorldBuilder()
+        .seed(seed)
+        .sensors(sensors)
+        .gateways(gw_positions)
+        .comm_range(_COMM_RANGE)
+        .ideal_radio()
+        .places(places)
+        .build()
+    )
+    g0, g1, g2 = world.network.gateway_ids
     schedule = GatewaySchedule(
         places=places,
         rounds=[
@@ -117,9 +123,8 @@ def run_table1(seed: int = 0, round_duration: float = 20.0) -> Table1Result:
             {g0: "E", g1: "D", g2: "C"},  # A -> E
         ],
     )
-    sim = Simulator(seed=seed)
-    channel = Channel(sim, network, IEEE802154.ideal(), metrics=MetricsCollector())
-    mlr = MLR(sim, network, channel, schedule)
+    mlr = world.attach(MLR, schedule)
+    sim = world.sim
 
     panels: list[dict[str, int]] = []
     selections: list[str] = []

@@ -22,11 +22,11 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError, TopologyError
 from repro.sim.engine import Simulator
-from repro.sim.network import Network
 from repro.sim.node import NodeKind
 from repro.sim.packet import Packet, PacketKind
-from repro.sim.radio import IEEE80211, Channel, RadioConfig
+from repro.sim.radio import IEEE80211, RadioConfig
 from repro.sim.trace import MetricsCollector
+from repro.world import WorldBuilder
 
 __all__ = ["MeshBackbone"]
 
@@ -66,10 +66,19 @@ class MeshBackbone:
             + [NodeKind.MESH_ROUTER] * len(rpos)
             + [NodeKind.BASE_STATION] * len(bpos)
         )
+        world = (
+            WorldBuilder()
+            .simulator(sim)
+            .nodes(positions, kinds, comm_range=radio.comm_range)
+            .radio(radio)
+            .metrics(metrics or MetricsCollector())
+            .build()
+        )
+        self.world = world
         self.sim = sim
-        self.network = Network(positions, kinds, comm_range=radio.comm_range)
-        self.metrics = metrics or MetricsCollector()
-        self.channel = Channel(sim, self.network, radio, metrics=self.metrics)
+        self.network = world.network
+        self.metrics = world.metrics
+        self.channel = world.channel
         self.gateway_mesh_ids = list(range(len(gpos)))
         self.router_mesh_ids = list(range(len(gpos), len(gpos) + len(rpos)))
         self.base_station_mesh_ids = list(

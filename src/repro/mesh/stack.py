@@ -28,10 +28,11 @@ from repro.mesh.backbone import MeshBackbone
 from repro.mesh.internet import InternetHost, WiredBackbone
 from repro.sim.energy import EnergyModel
 from repro.sim.engine import Simulator
-from repro.sim.network import Network, build_sensor_network
+from repro.sim.network import Network
 from repro.sim.packet import Packet
 from repro.sim.radio import IEEE802154, IEEE80211, Channel, RadioConfig
 from repro.sim.trace import MetricsCollector
+from repro.world import WorldBuilder
 
 __all__ = ["ThreeTierWMSN", "EndToEndRecord"]
 
@@ -82,14 +83,22 @@ class ThreeTierWMSN:
     ) -> None:
         self.sim = sim
         self.sensor_metrics = MetricsCollector()
-        self.sensor_network = build_sensor_network(
-            sensor_positions, gateway_positions, comm_range=sensor_radio.comm_range,
-            sensor_battery=sensor_battery,
+        builder = (
+            WorldBuilder()
+            .simulator(sim)
+            .sensors(sensor_positions)
+            .gateways(gateway_positions)
+            .comm_range(sensor_radio.comm_range)
+            .sensor_battery(sensor_battery)
+            .radio(sensor_radio)
+            .metrics(self.sensor_metrics)
         )
-        self.sensor_channel = Channel(
-            sim, self.sensor_network, sensor_radio, energy_model, self.sensor_metrics
-        )
-        self.protocol = protocol_factory(sim, self.sensor_network, self.sensor_channel)
+        if energy_model is not None:
+            builder.energy(energy_model)
+        self.sensor_world = builder.build()
+        self.sensor_network = self.sensor_world.network
+        self.sensor_channel = self.sensor_world.channel
+        self.protocol = self.sensor_world.attach(protocol_factory)
 
         self.mesh = MeshBackbone(
             sim, gateway_positions, router_positions, base_station_positions, mesh_radio

@@ -26,8 +26,8 @@ from typing import Callable, Optional, Sequence, Union
 from repro.analysis.stats import aggregate_records
 from repro.analysis.tables import format_table
 from repro.experiments.registry import ExperimentResult, run_experiment
-from repro.sim.engine import events_processed_total
 from repro.sim.serialize import from_jsonable, serializable, to_jsonable
+from repro.world import record_world_events
 
 from repro.runner.cache import ResultCache
 from repro.runner.spec import ExperimentSpec, SweepCell, expand_cells
@@ -47,12 +47,12 @@ def _execute_cell(experiment: str, params: dict, seed: int) -> dict:
     cache stores — so every path back to the caller decodes identically.
     """
     t0 = time.perf_counter()
-    events_before = events_processed_total()
-    result = run_experiment(experiment, params, seed)
+    with record_world_events() as recorder:
+        result = run_experiment(experiment, params, seed)
     return {
         "payload": to_jsonable(result),
         "wall_clock_s": time.perf_counter() - t0,
-        "events_processed": events_processed_total() - events_before,
+        "events_processed": recorder.events_processed,
         "pid": os.getpid(),
     }
 

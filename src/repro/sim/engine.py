@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+import warnings
+import weakref
 from typing import Any, Callable
 
 import numpy as np
@@ -26,32 +27,61 @@ from repro.exceptions import SimulationError
 
 __all__ = ["Event", "Simulator", "events_processed_total"]
 
-#: process-wide count of events executed across all Simulator instances.
-#: The sweep runner reads deltas of this around an experiment run to
-#: attribute simulation work to a cell without threading the Simulator
-#: out of every ``run_*`` entry point.
-_TOTAL_EVENTS_PROCESSED = 0
+#: live Simulator instances in this process; used only by the deprecated
+#: :func:`events_processed_total` shim below.
+_LIVE_SIMULATORS: "weakref.WeakSet[Simulator]" = weakref.WeakSet()
 
 
 def events_processed_total() -> int:
-    """Events executed in this process across all simulators (diagnostic)."""
-    return _TOTAL_EVENTS_PROCESSED
+    """Events executed across live simulators (deprecated diagnostic).
+
+    .. deprecated::
+        The process-global counter is gone: event accounting is per
+        simulator (:attr:`Simulator.events_processed`), aggregated per
+        world by :func:`repro.world.record_world_events` — which is what
+        the sweep runner reports.  This shim sums over simulators still
+        alive in the process; garbage-collected ones no longer contribute.
+    """
+    warnings.warn(
+        "events_processed_total() is deprecated; use Simulator.events_processed "
+        "or repro.world.record_world_events() for per-world accounting",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return sum(sim.events_processed for sim in _LIVE_SIMULATORS)
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
     Events are ordered by ``(time, seq)``; ``seq`` is a global counter so
-    simultaneous events preserve FIFO scheduling order.  ``fn`` and ``args``
-    are excluded from comparisons.
-    """
+    simultaneous events preserve FIFO scheduling order.  The engine keeps
+    the ordering key *outside* the event — the heap stores
+    ``(time, seq, event)`` tuples, so ordering is C-level tuple comparison
+    and never reaches a Python ``__lt__`` (events are compared millions of
+    times per run; this is the engine's one genuinely hot comparison)."""
 
-    time: float
-    seq: int
-    fn: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., None],
+        args: tuple = (),
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = cancelled
+
+    def __repr__(self) -> str:
+        return (
+            f"Event(time={self.time!r}, seq={self.seq!r}, fn={self.fn!r}, "
+            f"args={self.args!r}, cancelled={self.cancelled!r})"
+        )
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
@@ -82,12 +112,13 @@ class Simulator:
     """
 
     def __init__(self, seed: int | None = 0) -> None:
-        self._queue: list[Event] = []
+        self._queue: list[tuple[float, int, Event]] = []
         self._counter = itertools.count()
         self._now = 0.0
         self._running = False
         self._events_processed = 0
         self.rng: np.random.Generator = np.random.default_rng(seed)
+        _LIVE_SIMULATORS.add(self)
 
     # ------------------------------------------------------------------
     # time
@@ -119,7 +150,7 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
         ev = Event(self._now + delay, next(self._counter), fn, args)
-        heapq.heappush(self._queue, ev)
+        heapq.heappush(self._queue, (ev.time, ev.seq, ev))
         return ev
 
     def schedule_at(self, when: float, fn: Callable[..., None], *args: Any) -> Event:
@@ -135,7 +166,7 @@ class Simulator:
                 f"cannot schedule into the past (when={when!r}, now={self._now!r})"
             )
         ev = Event(when, next(self._counter), fn, args)
-        heapq.heappush(self._queue, ev)
+        heapq.heappush(self._queue, (when, ev.seq, ev))
         return ev
 
     # ------------------------------------------------------------------
@@ -148,17 +179,15 @@ class Simulator:
         Cancelled events are discarded without running.
         """
         while self._queue:
-            ev = heapq.heappop(self._queue)
+            when, _, ev = heapq.heappop(self._queue)
             if ev.cancelled:
                 continue
-            if ev.time < self._now:
+            if when < self._now:
                 raise SimulationError(
-                    f"event queue corrupted: event at t={ev.time} < now={self._now}"
+                    f"event queue corrupted: event at t={when} < now={self._now}"
                 )
-            self._now = ev.time
+            self._now = when
             self._events_processed += 1
-            global _TOTAL_EVENTS_PROCESSED
-            _TOTAL_EVENTS_PROCESSED += 1
             ev.fn(*ev.args)
             return True
         return False
@@ -181,11 +210,11 @@ class Simulator:
         processed = 0
         try:
             while self._queue:
-                nxt = self._queue[0]
+                when, _, nxt = self._queue[0]
                 if nxt.cancelled:
                     heapq.heappop(self._queue)
                     continue
-                if until is not None and nxt.time > until:
+                if until is not None and when > until:
                     break
                 if max_events is not None and processed >= max_events:
                     break

@@ -72,6 +72,11 @@ class Network:
             capacity = sensor_battery if kind is NodeKind.SENSOR else math.inf
             self.nodes.append(Node(node_id=i, kind=kind, energy=EnergyAccount(capacity=capacity)))
         self._neighbor_cache: Optional[list[np.ndarray]] = None
+        # graph() cache: alive_only -> (alive mask at build time, graph).
+        # Nodes die without notifying the network, so the mask is the
+        # validity stamp; invalidate() clears this alongside the neighbor
+        # cache on topology changes.
+        self._graph_cache: dict[bool, tuple[np.ndarray, nx.Graph]] = {}
 
     # ------------------------------------------------------------------
     # structure queries
@@ -96,6 +101,16 @@ class Network:
         """Euclidean distance between nodes ``i`` and ``j`` in meters."""
         d = self.positions[i] - self.positions[j]
         return float(math.hypot(d[0], d[1]))
+
+    def distances_from(self, i: int, ids: np.ndarray) -> np.ndarray:
+        """Distances from node ``i`` to every node in ``ids``, vectorised.
+
+        The radio fan-out hot path computes one propagation delay per
+        neighbor per frame; batching the distance math here keeps that a
+        single NumPy pass instead of ``len(ids)`` Python-level calls.
+        """
+        diff = self.positions[ids] - self.positions[i]
+        return np.hypot(diff[:, 0], diff[:, 1])
 
     # ------------------------------------------------------------------
     # neighbor sets (vectorised, cached)
@@ -122,8 +137,9 @@ class Network:
         return [int(j) for j in self.neighbors(i) if self.nodes[j].alive]
 
     def invalidate(self) -> None:
-        """Drop cached neighbor sets after a topology change."""
+        """Drop cached neighbor sets and graphs after a topology change."""
         self._neighbor_cache = None
+        self._graph_cache.clear()
 
     # ------------------------------------------------------------------
     # mutation
@@ -138,8 +154,26 @@ class Network:
     # ------------------------------------------------------------------
     # graph views
     # ------------------------------------------------------------------
+    def _alive_mask(self) -> np.ndarray:
+        return np.fromiter(
+            (n.alive for n in self.nodes), dtype=bool, count=len(self.nodes)
+        )
+
     def graph(self, alive_only: bool = True) -> nx.Graph:
-        """The one-hop link graph as a :class:`networkx.Graph`."""
+        """The one-hop link graph as a :class:`networkx.Graph`.
+
+        The graph is cached and revalidated against the current alive
+        mask, so repeated queries (the mesh backbone recomputes routes on
+        every forwarding decision; E9 recomputes reachability per failure
+        step) rebuild only when a node moved, died or recovered.  Treat
+        the returned graph as read-only.
+        """
+        mask = self._alive_mask() if alive_only else None
+        cached = self._graph_cache.get(alive_only)
+        if cached is not None:
+            cached_mask, cached_graph = cached
+            if mask is None or np.array_equal(mask, cached_mask):
+                return cached_graph
         g = nx.Graph()
         for node in self.nodes:
             if alive_only and not node.alive:
@@ -150,6 +184,7 @@ class Network:
                 j = int(j)
                 if j > i and j in g.nodes:
                     g.add_edge(i, j, weight=1.0)
+        self._graph_cache[alive_only] = (mask, g)
         return g
 
     def hops_to(self, targets: Sequence[int], alive_only: bool = True) -> dict[int, int]:

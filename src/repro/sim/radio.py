@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
+import numpy as np
+
 from repro.exceptions import ConfigurationError
 from repro.sim.energy import EnergyModel
 from repro.sim.engine import Simulator
@@ -85,6 +87,12 @@ class Channel:
         First-order radio model used to charge TX/RX energy.
     metrics:
         Collector receiving send/receive/drop events.
+    vectorized:
+        Batch the per-neighbor fan-out math (distance, propagation, loss
+        draws) with NumPy.  On by default; the scalar loop is kept as a
+        reference implementation for equivalence tests and the hot-path
+        benchmark.  Both paths draw from the RNG in the same order, so
+        they are stream-identical.
     """
 
     def __init__(
@@ -94,6 +102,7 @@ class Channel:
         config: RadioConfig = IEEE802154,
         energy_model: Optional[EnergyModel] = None,
         metrics: Optional[MetricsCollector] = None,
+        vectorized: bool = True,
     ) -> None:
         self.sim = sim
         self.network = network
@@ -101,8 +110,12 @@ class Channel:
         self.energy_model = energy_model or EnergyModel()
         self.metrics = metrics or MetricsCollector()
         self.medium = MediumState()
+        self.vectorized = vectorized
         self._prune_every = 256
         self._sends_since_prune = 0
+        # With carrier sensing and collision detection both off, nothing
+        # ever reads the medium bookkeeping — skip it on the hot path.
+        self._medium_observed = config.csma or config.collisions
 
     # ------------------------------------------------------------------
     def send(self, sender: int, packet: Packet) -> bool:
@@ -118,11 +131,11 @@ class Channel:
             return False
         packet.src = sender
 
-        now = self.sim.now
-        self._sends_since_prune += 1
-        if self._sends_since_prune >= self._prune_every:
-            self.medium.prune(now)
-            self._sends_since_prune = 0
+        if self._medium_observed:
+            self._sends_since_prune += 1
+            if self._sends_since_prune >= self._prune_every:
+                self.medium.prune(self.sim.now)
+                self._sends_since_prune = 0
 
         if self.config.csma:
             jitter = self.sim.rng.uniform(0.0, self.config.backoff_window or 1e-9)
@@ -154,7 +167,8 @@ class Channel:
         airtime = self.config.airtime(bits)
         start = self.sim.now
         end = start + airtime
-        self.medium.register_tx(sender, start, end)
+        if self._medium_observed:
+            self.medium.register_tx(sender, start, end)
 
         # The paper's identical-power assumption: every frame is amplified
         # to cover the full communication range (Section 5.2).
@@ -166,6 +180,16 @@ class Channel:
         self.metrics.on_send(packet)
 
         neighbors = self.network.neighbors(sender)
+        if self.vectorized:
+            self._fanout_vectorized(sender, packet, attempt, neighbors, start, end)
+        else:
+            self._fanout_scalar(sender, packet, attempt, neighbors, start, end)
+
+    def _fanout_scalar(
+        self, sender: int, packet: Packet, attempt: int,
+        neighbors: np.ndarray, start: float, end: float,
+    ) -> None:
+        """The pre-refactor per-neighbor Python loop (reference path)."""
         rng = self.sim.rng
         for nb in neighbors:
             intended = packet.dst is None or packet.dst == nb
@@ -188,6 +212,74 @@ class Channel:
             # Link-layer unicast to a node that moved/died out of range.
             self.metrics.on_drop("no_link")
 
+    def _fanout_vectorized(
+        self, sender: int, packet: Packet, attempt: int,
+        neighbors: np.ndarray, start: float, end: float,
+    ) -> None:
+        """Batched fan-out: one NumPy pass for distance/propagation/loss.
+
+        Draw-order stable with :meth:`_fanout_scalar`: loss draws are taken
+        as one batch in neighbor order, exactly the sequence the scalar
+        loop consumes, so both paths produce identical RNG streams and
+        identical schedules.
+        """
+        dst = packet.dst
+        n = len(neighbors)
+        if n == 0:
+            if dst is not None:
+                self.metrics.on_drop("no_link")
+            return
+        props = self.network.distances_from(sender, neighbors) / _SPEED_OF_LIGHT
+        arrive_l = (end + props).tolist()
+        nb_l = neighbors.tolist()
+
+        loss_rate = self.config.loss_rate
+        lost_l = None
+        if loss_rate > 0.0:
+            if dst is None:
+                lost_l = (self.sim.rng.random(n) < loss_rate).tolist()
+            else:
+                intended_mask = neighbors == dst
+                k = int(intended_mask.sum())
+                if k:
+                    lost = np.zeros(n, dtype=bool)
+                    lost[intended_mask] = self.sim.rng.random(k) < loss_rate
+                    lost_l = lost.tolist()
+
+        detect = self.config.collisions
+        interference = self._medium_observed
+        deliver = self._deliver if interference else None
+        register = self.medium.register_reception
+        schedule = self.sim.schedule
+        now = self.sim.now
+        start_l = (start + props).tolist() if interference else None
+        found_dst = dst is None
+        for idx in range(n):
+            nb = nb_l[idx]
+            intended = dst is None or nb == dst
+            if not intended:
+                if interference:
+                    register(nb, start_l[idx], arrive_l[idx], packet, sender, False, detect)
+                continue
+            found_dst = True
+            arrive = arrive_l[idx]
+            if lost_l is not None and lost_l[idx]:
+                self.metrics.on_drop("loss")
+                if dst is not None:
+                    schedule(arrive - now, self._maybe_retry, sender, packet, attempt)
+                continue
+            if interference:
+                rec = register(nb, start_l[idx], arrive, packet, sender, True, detect)
+                schedule(arrive - now, deliver, nb, rec, sender, attempt)
+            else:
+                # Ideal radio: no carrier sensing, no collisions — the
+                # reception record would never be read, deliver directly.
+                schedule(arrive - now, self._deliver_direct, nb, packet, sender, attempt)
+
+        if not found_dst:
+            # Link-layer unicast to a node that moved/died out of range.
+            self.metrics.on_drop("no_link")
+
     # ------------------------------------------------------------------
     def _maybe_retry(self, sender: int, packet: Packet, attempt: int) -> None:
         """ARQ: retransmit a failed unicast frame (802.15.4 macMaxFrameRetries)."""
@@ -201,21 +293,24 @@ class Channel:
 
     # ------------------------------------------------------------------
     def _deliver(self, receiver: int, rec, sender: int, attempt: int) -> None:
-        unicast = rec.packet.dst is not None
         if self.config.collisions and rec.collided:
             self.metrics.on_drop("collision")
-            if unicast:
+            if rec.packet.dst is not None:
                 self._maybe_retry(sender, rec.packet, attempt)
             return
+        self._deliver_direct(receiver, rec.packet, sender, attempt)
+
+    def _deliver_direct(self, receiver: int, packet: Packet, sender: int, attempt: int) -> None:
+        """Reception without medium bookkeeping (collision-free radios)."""
         node = self.network.nodes[receiver]
         if not node.alive:
             self.metrics.on_drop("dead_node")
             return
-        bits = rec.packet.size_bits()
+        bits = packet.size_bits()
         was_alive = node.energy.alive
         node.energy.charge_rx(self.energy_model.rx_cost(bits), self.sim.now)
         if was_alive and not node.energy.alive:
             self.metrics.on_node_death(receiver, self.sim.now)
             return
-        self.metrics.on_receive(rec.packet)
-        node.receive(rec.packet)
+        self.metrics.on_receive(packet)
+        node.receive(packet)

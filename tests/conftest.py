@@ -6,8 +6,7 @@ import pytest
 
 from repro.sim.engine import Simulator
 from repro.sim.network import build_sensor_network, grid_deployment
-from repro.sim.radio import IEEE802154, Channel
-from repro.sim.trace import MetricsCollector
+from repro.world import WorldBuilder
 
 
 @pytest.fixture
@@ -29,8 +28,8 @@ def line_network():
 
 @pytest.fixture
 def line_setup(sim, line_network):
-    channel = Channel(sim, line_network, IEEE802154.ideal(), metrics=MetricsCollector())
-    return sim, line_network, channel
+    world = WorldBuilder().simulator(sim).network(line_network).ideal_radio().build()
+    return sim, line_network, world.channel
 
 
 @pytest.fixture
@@ -43,5 +42,5 @@ def grid_network():
 
 @pytest.fixture
 def grid_setup(sim, grid_network):
-    channel = Channel(sim, grid_network, IEEE802154.ideal(), metrics=MetricsCollector())
-    return sim, grid_network, channel
+    world = WorldBuilder().simulator(sim).network(grid_network).ideal_radio().build()
+    return sim, grid_network, world.channel

@@ -1,0 +1,142 @@
+"""Data-plane repair path: repair exhaustion, repair opt-out, dead-source RERR.
+
+All three scenarios run on the deterministic line fixture
+(s0 - s1 - s2 - s3 - s4 - G, ideal radio), where the only route is the
+chain, so every repair outcome is forced.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.base import ProtocolConfig
+from repro.core.spr import SPR
+from repro.world import WorldBuilder
+
+
+def _line_world(config=None):
+    sensors = np.array([[float(10 * i), 0.0] for i in range(5)])
+    world = (
+        WorldBuilder()
+        .seed(11)
+        .sensors(sensors)
+        .gateways([[50.0, 0.0]])
+        .comm_range(12.0)
+        .ideal_radio()
+        .build()
+    )
+    spr = world.attach(SPR, config) if config is not None else world.attach(SPR)
+    return world, spr
+
+
+def _establish_route(world, spr, source=0):
+    spr.send_data(source)
+    world.sim.run()
+    assert world.metrics.deliveries, "setup: first datum must deliver"
+
+
+class TestRepairExhaustion:
+    def test_max_repairs_per_packet_bounds_the_repair_loop(self):
+        # s1 keeps a stale table entry through dead s2 and keeps answering
+        # discoveries with it, so every repair re-installs a broken route:
+        # the packet must be abandoned after max_repairs_per_packet tries.
+        config = ProtocolConfig(max_repairs_per_packet=2)
+        world, spr = _line_world(config)
+        _establish_route(world, spr)
+
+        world.network.nodes[2].fail()
+        delivered_before = len(world.metrics.deliveries)
+        spr.send_data(0)
+        world.sim.run()
+
+        assert len(world.metrics.deliveries) == delivered_before
+        assert world.metrics.drops.get("unrepairable", 0) >= 1
+        # Each failed attempt is detected at s1 as a dead next hop.
+        assert world.metrics.drops.get("dead_next_hop", 0) >= config.max_repairs_per_packet
+
+    def test_successful_repair_redirects_within_budget(self):
+        # A diamond: s0 reaches the gateway through s1 or s2.  Killing s1
+        # after routes settle must reroute via s2 within one repair.
+        sensors = np.array([[0.0, 0.0], [10.0, 6.0], [10.0, -6.0]])
+        world = (
+            WorldBuilder()
+            .seed(5)
+            .sensors(sensors)
+            .gateways([[20.0, 0.0]])
+            .comm_range(13.0)
+            .ideal_radio()
+            .build()
+        )
+        spr = world.attach(SPR)
+        _establish_route(world, spr)
+
+        # s0's installed route goes through one arm; kill that arm.
+        entry = spr.routing_table(0).best(None)
+        broken_arm = entry.path[1]
+        world.network.nodes[broken_arm].fail()
+        delivered_before = len(world.metrics.deliveries)
+        spr.send_data(0)
+        world.sim.run()
+
+        assert len(world.metrics.deliveries) == delivered_before + 1
+        assert world.metrics.drops.get("unrepairable", 0) == 0
+
+
+class TestRepairOptOut:
+    def test_repair_routes_false_drops_without_rerr(self):
+        config = ProtocolConfig(repair_routes=False)
+        world, spr = _line_world(config)
+        _establish_route(world, spr)
+
+        world.network.nodes[2].fail()
+        delivered_before = len(world.metrics.deliveries)
+        s0_entry_before = spr.routing_table(0).best(None)
+        spr.send_data(0)
+        world.sim.run()
+
+        assert len(world.metrics.deliveries) == delivered_before
+        assert world.metrics.drops.get("dead_next_hop", 0) >= 1
+        # No RERR means the source never learns: its stale entry survives.
+        assert spr.routing_table(0).best(None) == s0_entry_before
+        assert world.metrics.drops.get("unrepairable", 0) == 0
+
+
+class TestDeadSourceRerr:
+    def test_rerr_toward_dead_source_purges_tables_and_drops(self):
+        world, spr = _line_world()
+        _establish_route(world, spr)
+
+        # Second datum leaves s0 from tables (no source route), then both
+        # the source and a downstream hop die while it is in flight: s2
+        # detects the dead s3 and sends the RERR back, but the hop-back at
+        # s1 finds the source gone.
+        spr.send_data(0)
+        world.sim.schedule(1e-6, world.network.nodes[0].fail)
+        world.sim.schedule(1e-6, world.network.nodes[3].fail)
+        world.sim.run()
+
+        key = world.network.gateway_ids[0]
+        # s1 purged its entry while relaying the RERR (Property-1 tables
+        # must stop advertising the broken segment) ...
+        assert spr.routing_table(1).get(key) is None
+        # ... and the RERR itself dies at s1 because s0 is unreachable.
+        assert world.metrics.drops.get("unrepairable", 0) == 1
+
+    def test_rerr_detector_is_source(self):
+        # The degenerate repair: the source itself sees the dead next hop.
+        # No RERR frame is needed — the source redirects locally.
+        world, spr = _line_world()
+        _establish_route(world, spr)
+
+        world.network.nodes[1].fail()
+        spr.send_data(0)
+        world.sim.run()
+
+        # The chain is the only route, so redirection ends in no_route —
+        # but the broken entry must be gone from the source's table.
+        key = world.network.gateway_ids[0]
+        assert spr.routing_table(0).get(key) is None
+        assert world.metrics.drops.get("dead_next_hop", 0) >= 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

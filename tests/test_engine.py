@@ -139,15 +139,20 @@ def test_max_events_does_not_count_cancelled_events():
     assert sim.events_processed == 3
 
 
-def test_events_processed_total_accumulates_across_simulators():
+def test_events_processed_total_deprecated_sums_live_simulators():
+    import pytest
+
     from repro.sim.engine import events_processed_total
 
-    before = events_processed_total()
+    with pytest.warns(DeprecationWarning):
+        before = events_processed_total()
     sim = Simulator(seed=0)
     for i in range(4):
         sim.schedule(float(i), lambda: None)
     sim.run()
-    assert events_processed_total() - before == 4
+    with pytest.warns(DeprecationWarning):
+        after = events_processed_total()
+    assert after - before == 4
 
 
 def test_events_scheduled_during_run_execute():
