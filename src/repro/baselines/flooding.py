@@ -127,14 +127,14 @@ class Gossiping(Flooding):
         # Prefer handing to an adjacent gateway; otherwise a random
         # neighbor (the datum walks until TTL or luck).
         alive = self.network.alive_neighbors(node_id)
-        if not alive:
+        if len(alive) == 0:
             self.metrics.on_drop("isolated")
             return
-        gws = [n for n in alive if self.network.nodes[n].kind is NodeKind.GATEWAY]
+        gws = [int(n) for n in alive if self.network.nodes[n].kind is NodeKind.GATEWAY]
         if gws:
             nxt = gws[int(self.sim.rng.integers(len(gws)))]
         else:
-            nxt = alive[int(self.sim.rng.integers(len(alive)))]
+            nxt = int(alive[int(self.sim.rng.integers(len(alive)))])
         self.channel.send(
             node_id, pkt.fork(src=node_id, dst=nxt, ttl=pkt.ttl - 1, hop_count=pkt.hop_count + 1)
         )

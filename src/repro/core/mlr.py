@@ -98,9 +98,13 @@ class MLR(DiscoveryProtocol):
         for blocked in self._unreachable.values():
             blocked.clear()
 
-        for g, place in assignment.items():
+        # Only gateways whose place actually changed are moved (round 0
+        # moves everyone): unmoved gateways are already in position, and
+        # skipping them keeps the incremental spatial index from doing
+        # even O(k) work for a no-op relocation.
+        for g, place in moved.items():
             self.network.move_node(g, self.schedule.places.position(place))
-            self.gateway_place[g] = place
+        self.gateway_place.update(assignment)
 
         if r == 0 and self.bootstrap_known:
             for node in self.network.nodes:

@@ -27,6 +27,7 @@ import networkx as nx
 import numpy as np
 
 from repro.exceptions import ConfigurationError, TopologyError
+from repro.sim.spatial import CellGrid
 
 __all__ = [
     "sensor_graph",
@@ -38,19 +39,23 @@ __all__ = [
 
 
 def sensor_graph(sensor_positions: np.ndarray, comm_range: float) -> nx.Graph:
-    """Unit-disk graph over the sensor positions only."""
+    """Unit-disk graph over the sensor positions only.
+
+    Built through the cell-grid spatial index (O(n·k)) rather than the
+    dense pairwise-distance matrix — gateway-count sweeps call this once
+    per candidate set and the quadratic build dominated at scale.
+    """
     pos = np.asarray(sensor_positions, dtype=float)
     if pos.ndim != 2 or pos.shape[1] != 2:
         raise ConfigurationError("sensor_positions must be (n, 2)")
     n = len(pos)
     g = nx.Graph()
     g.add_nodes_from(range(n))
-    diff = pos[:, None, :] - pos[None, :, :]
-    d2 = np.einsum("ijk,ijk->ij", diff, diff)
-    within = d2 <= comm_range * comm_range
-    np.fill_diagonal(within, False)
-    ii, jj = np.nonzero(np.triu(within))
-    g.add_edges_from(zip(ii.tolist(), jj.tolist()))
+    rows = CellGrid(pos, comm_range).neighbor_rows(comm_range)
+    for i, row in enumerate(rows):
+        upper = row[row > i]
+        if len(upper):
+            g.add_edges_from((i, int(j)) for j in upper)
     return g
 
 

@@ -35,6 +35,7 @@ import math
 from collections import defaultdict
 from typing import Optional
 
+import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.sim.network import Network
@@ -52,8 +53,13 @@ class SleepScheduler:
             raise ConfigurationError("cell side must be positive")
         self.cell_side = side
         self._cells: dict[tuple[int, int], list[int]] = defaultdict(list)
-        for s in network.sensor_ids:
-            self._cells[self.cell_of(s)].append(s)
+        sensor_ids = network.sensor_ids
+        if sensor_ids:
+            # One vectorised floor-divide instead of a per-node cell_of()
+            # round trip through the position array.
+            cells = np.floor(network.positions[sensor_ids] / side).astype(np.int64)
+            for s, key in zip(sensor_ids, map(tuple, cells.tolist())):
+                self._cells[key].append(s)
         self.epoch = -1
         self.coordinators: dict[tuple[int, int], int] = {}
 

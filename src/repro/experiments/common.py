@@ -116,6 +116,7 @@ def make_uniform_scenario(
     radio: Optional[RadioConfig] = None,
     energy_model: Optional[EnergyModel] = None,
     require_connected: bool = True,
+    spatial_index: str = "grid",
 ) -> Scenario:
     """Uniform random deployment with explicit gateway positions."""
     builder = (
@@ -127,6 +128,7 @@ def make_uniform_scenario(
         .sensor_battery(sensor_battery)
         .radio(radio or IEEE802154.ideal())
         .require_connected(require_connected)
+        .spatial_index(spatial_index)
     )
     if energy_model is not None:
         builder.energy(energy_model)
@@ -143,6 +145,7 @@ def make_grid_scenario(
     protocol_seed: int = 2,
     radio: Optional[RadioConfig] = None,
     energy_model: Optional[EnergyModel] = None,
+    spatial_index: str = "grid",
 ) -> Scenario:
     """Regular grid deployment (deterministic topologies for tests)."""
     builder = (
@@ -152,6 +155,7 @@ def make_grid_scenario(
         .gateways(gateway_positions)
         .sensor_battery(sensor_battery)
         .radio(radio or IEEE802154.ideal())
+        .spatial_index(spatial_index)
     )
     if comm_range is not None:
         builder.comm_range(comm_range)

@@ -89,6 +89,7 @@ def run_lifetime_comparison(
     packets_per_round: int = 4,
     seed: int = 1,
     protocols: tuple[str, ...] = LIFETIME_PROTOCOLS,
+    spatial_index: str = "grid",
 ) -> LifetimeComparison:
     """Run every protocol on an identical deployment until first death.
 
@@ -116,6 +117,7 @@ def run_lifetime_comparison(
             topology_seed=seed,
             protocol_seed=seed + 7,
             energy_model=energy_model,
+            spatial_index=spatial_index,
         )
         sim, net, ch = scenario.sim, scenario.network, scenario.channel
         if name == "MLR":

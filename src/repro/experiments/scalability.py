@@ -96,8 +96,14 @@ def run_scalability(
     comm_range: float = 55.0,
     rounds: int = 2,
     seed: int = 1,
+    spatial_index: str = "grid",
 ) -> ScalabilityResult:
-    """Sweep network size at constant density."""
+    """Sweep network size at constant density.
+
+    ``spatial_index`` selects the topology maintenance strategy — the
+    incremental grid index by default; ``"bruteforce"`` reruns the sweep
+    on the quadratic reference path (ablations, benchmarks).
+    """
     rows = []
     for n in sizes:
         field = float(np.sqrt(n / density))
@@ -113,6 +119,7 @@ def run_scalability(
                 comm_range=comm_range,
                 topology_seed=seed,
                 protocol_seed=seed + 1,
+                spatial_index=spatial_index,
             )
             protocol = cls(scenario.sim, scenario.network, scenario.channel)
             # Several packets per round amortise the one-time discovery

@@ -99,8 +99,15 @@ class Table1Result:
         return "\n\n".join(blocks)
 
 
-def run_table1(seed: int = 0, round_duration: float = 20.0) -> Table1Result:
-    """Drive MLR through the three rounds of Table 1 and snapshot Si."""
+def run_table1(
+    seed: int = 0, round_duration: float = 20.0, spatial_index: str = "grid"
+) -> Table1Result:
+    """Drive MLR through the three rounds of Table 1 and snapshot Si.
+
+    The gateway moves of rounds 2 and 3 exercise the incremental spatial
+    index; ``spatial_index="bruteforce"`` replays the walkthrough on the
+    full-invalidation reference path (the results must be identical).
+    """
     sensors, places, si = build_table1_topology()
     # Three gateways; initial places A, B, C (they will be moved by MLR).
     gw_positions = np.asarray([places.position(p) for p in ("A", "B", "C")])
@@ -112,6 +119,7 @@ def run_table1(seed: int = 0, round_duration: float = 20.0) -> Table1Result:
         .comm_range(_COMM_RANGE)
         .ideal_radio()
         .places(places)
+        .spatial_index(spatial_index)
         .build()
     )
     g0, g1, g2 = world.network.gateway_ids

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.exceptions import ConfigurationError
 
@@ -91,6 +92,12 @@ class EnergyAccount:
     gateways have unrestricted energy", Section 5.3); sensor nodes get a
     finite budget and die — permanently — when it is exhausted.  The time of
     the *first* sensor death is the paper's network-lifetime definition.
+
+    ``on_death`` is an optional zero-argument callback fired exactly once,
+    at the drain that exhausts the battery — how the owning
+    :class:`~repro.sim.node.Node` propagates liveness changes to the
+    :class:`~repro.sim.network.Network`'s maintained alive mask without
+    any per-query scanning.
     """
 
     capacity: float
@@ -99,6 +106,7 @@ class EnergyAccount:
     spent_rx: float = 0.0
     spent_idle: float = 0.0
     died_at: float | None = None
+    on_death: Callable[[], None] | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.remaining is None:
@@ -122,6 +130,8 @@ class EnergyAccount:
         if self.remaining <= 0 and not math.isinf(self.capacity):
             self.remaining = 0.0
             self.died_at = now
+            if self.on_death is not None:
+                self.on_death()
         return True
 
     def charge_tx(self, joules: float, now: float) -> bool:

@@ -36,6 +36,12 @@ class FeasiblePlaces:
             raise ConfigurationError("labels and coordinates must have equal length")
         if len(set(self.labels)) != len(self.labels):
             raise ConfigurationError("place labels must be unique")
+        # Label -> index lookup (frozen dataclass, hence object.__setattr__):
+        # position() sits on MLR's per-round path, so O(1) beats the
+        # linear labels.index scan once |P| grows beyond the toy examples.
+        object.__setattr__(
+            self, "_label_index", {label: k for k, label in enumerate(self.labels)}
+        )
 
     @classmethod
     def from_mapping(cls, places: Mapping[str, tuple[float, float]]) -> "FeasiblePlaces":
@@ -46,14 +52,14 @@ class FeasiblePlaces:
         return len(self.labels)
 
     def __contains__(self, label: str) -> bool:
-        return label in self.labels
+        return label in self._label_index
 
     def position(self, label: str) -> tuple[float, float]:
         """Coordinates of place ``label``."""
-        try:
-            return self.coordinates[self.labels.index(label)]
-        except ValueError:
-            raise ConfigurationError(f"unknown feasible place: {label!r}") from None
+        k = self._label_index.get(label)
+        if k is None:
+            raise ConfigurationError(f"unknown feasible place: {label!r}")
+        return self.coordinates[k]
 
 
 @dataclass

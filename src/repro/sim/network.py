@@ -10,7 +10,27 @@ one-hop link relation of the paper's network model (Section 5.1):
     communication range.
 
 Gateways may move between rounds (Section 5.1: sensors static, gateways
-discretely mobile), which invalidates the cached neighbor sets.
+discretely mobile).  Two index implementations maintain the neighbor
+relation under such moves:
+
+``index="grid"`` (default)
+    A :class:`~repro.sim.spatial.CellGrid` with ``comm_range``-sized
+    cells.  ``move_node`` is *incremental*: only the moved node's row and
+    the affected reverse rows are touched, the cached ``networkx`` graph
+    is edge-patched in place, and a topology epoch is bumped — O(k) per
+    move instead of an O(n²) rebuild.  ``hops_to`` runs multi-source BFS
+    over a cached CSR adjacency (:mod:`scipy.sparse.csgraph`), revalidated
+    by (epoch, alive-version) instead of rebuilt per query.
+
+``index="bruteforce"``
+    The reference implementation: dense n × n distance matrix, full
+    invalidation on every change, ``networkx`` Dijkstra for hop counts.
+    Kept so the equivalence suite can hold the incremental path to the
+    simple one, mirroring the scalar/vectorized radio fan-out split.
+
+Node liveness (battery death, injected failures, sleep scheduling) feeds
+a maintained NumPy alive mask through per-node listeners — no per-query
+Python scan over ``self.nodes``.
 """
 
 from __future__ import annotations
@@ -20,10 +40,13 @@ from typing import Iterable, Optional, Sequence
 
 import networkx as nx
 import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
 
 from repro.exceptions import ConfigurationError, TopologyError
 from repro.sim.energy import EnergyAccount
 from repro.sim.node import Node, NodeKind
+from repro.sim.spatial import CellGrid
 
 __all__ = [
     "Network",
@@ -31,6 +54,9 @@ __all__ = [
     "grid_deployment",
     "build_sensor_network",
 ]
+
+#: Valid spatial index implementations.
+SPATIAL_INDEXES = ("grid", "bruteforce")
 
 
 class Network:
@@ -48,6 +74,10 @@ class Network:
         Initial battery (J) of each SENSOR node; ``math.inf`` gives the
         idealised unlimited-energy setting used by the worked examples.
         Non-sensor kinds are always mains powered.
+    index:
+        Neighbor maintenance strategy: ``"grid"`` (incremental cell-grid
+        index, the default) or ``"bruteforce"`` (dense distance matrix
+        with full invalidation — the reference implementation).
     """
 
     def __init__(
@@ -56,6 +86,7 @@ class Network:
         kinds: Sequence[NodeKind],
         comm_range: float = 40.0,
         sensor_battery: float = math.inf,
+        index: str = "grid",
     ) -> None:
         positions = np.asarray(positions, dtype=float)
         if positions.ndim != 2 or positions.shape[1] != 2:
@@ -64,19 +95,44 @@ class Network:
             raise ConfigurationError("kinds and positions must have equal length")
         if comm_range <= 0:
             raise ConfigurationError("comm_range must be positive")
+        if index not in SPATIAL_INDEXES:
+            raise ConfigurationError(
+                f"unknown spatial index {index!r}; choose from {SPATIAL_INDEXES}"
+            )
 
         self.positions = positions.copy()
         self.comm_range = float(comm_range)
+        self.index = index
         self.nodes: list[Node] = []
         for i, kind in enumerate(kinds):
             capacity = sensor_battery if kind is NodeKind.SENSOR else math.inf
             self.nodes.append(Node(node_id=i, kind=kind, energy=EnergyAccount(capacity=capacity)))
+
         self._neighbor_cache: Optional[list[np.ndarray]] = None
-        # graph() cache: alive_only -> (alive mask at build time, graph).
-        # Nodes die without notifying the network, so the mask is the
-        # validity stamp; invalidate() clears this alongside the neighbor
-        # cache on topology changes.
-        self._graph_cache: dict[bool, tuple[np.ndarray, nx.Graph]] = {}
+        self._grid: Optional[CellGrid] = None
+        # graph() cache: alive_only -> (alive version at build, graph).
+        # The grid index patches cached graphs in place on moves/deaths;
+        # the brute-force reference drops them and rebuilds.
+        self._graph_cache: dict[bool, tuple[int, nx.Graph]] = {}
+        # hops_to() cache: alive_only -> (edge epoch, alive version, CSR).
+        self._csr_cache: dict[bool, tuple[int, int, csr_matrix]] = {}
+        # alive_neighbors() cache: node -> filtered ndarray, stamped by
+        # the (edge epoch, alive version) pair it was computed under.
+        self._alive_nbr_cache: dict[int, np.ndarray] = {}
+        self._alive_nbr_stamp: tuple[int, int] = (-1, -1)
+
+        #: bumped whenever the edge set may have changed (moves, full
+        #: invalidation); alive transitions bump ``_alive_version`` instead.
+        self._edge_epoch = 0
+        self._alive_version = 0
+        # Maintained liveness mask: nodes notify the network on every
+        # alive-flag transition (battery death, fail/recover, sleep/wake),
+        # so no query ever re-derives liveness with a Python generator.
+        self._alive = np.fromiter(
+            (n.alive for n in self.nodes), dtype=bool, count=len(self.nodes)
+        )
+        for node in self.nodes:
+            node.bind_alive_listener(self._on_alive_change)
 
     # ------------------------------------------------------------------
     # structure queries
@@ -97,6 +153,16 @@ class Network:
     def ids_of_kind(self, kind: NodeKind) -> list[int]:
         return [n.node_id for n in self.nodes if n.kind is kind]
 
+    @property
+    def topology_epoch(self) -> tuple[int, int]:
+        """(edge epoch, alive version) — changes iff the link graph may have."""
+        return (self._edge_epoch, self._alive_version)
+
+    @property
+    def alive_mask(self) -> np.ndarray:
+        """Maintained per-node liveness mask.  Treat as read-only."""
+        return self._alive
+
     def distance(self, i: int, j: int) -> float:
         """Euclidean distance between nodes ``i`` and ``j`` in meters."""
         d = self.positions[i] - self.positions[j]
@@ -116,10 +182,12 @@ class Network:
     # neighbor sets (vectorised, cached)
     # ------------------------------------------------------------------
     def _build_neighbor_cache(self) -> list[np.ndarray]:
+        if self.index == "grid":
+            self._grid = CellGrid(self.positions, self.comm_range)
+            return self._grid.neighbor_rows(self.comm_range)
+        # Pairwise squared distances via broadcasting; the O(n^2) matrix
+        # is the reference the grid index is tested against.
         pos = self.positions
-        # Pairwise squared distances via broadcasting; n is at most a few
-        # thousand in every experiment so the O(n^2) matrix is cheap and
-        # far faster than per-pair Python loops.
         diff = pos[:, None, :] - pos[None, :, :]
         d2 = np.einsum("ijk,ijk->ij", diff, diff)
         within = d2 <= self.comm_range * self.comm_range
@@ -132,51 +200,147 @@ class Network:
             self._neighbor_cache = self._build_neighbor_cache()
         return self._neighbor_cache[i]
 
-    def alive_neighbors(self, i: int) -> list[int]:
-        """Neighbor ids that are currently alive."""
-        return [int(j) for j in self.neighbors(i) if self.nodes[j].alive]
+    def alive_neighbors(self, i: int) -> np.ndarray:
+        """Neighbor ids that are currently alive, as a cached ndarray.
+
+        Vectorised mask lookup over the maintained alive array; entries
+        are cached per node and stamped with the topology epoch, so
+        repeated queries between topology changes are dictionary hits.
+        """
+        stamp = (self._edge_epoch, self._alive_version)
+        if stamp != self._alive_nbr_stamp:
+            self._alive_nbr_cache.clear()
+            self._alive_nbr_stamp = stamp
+        out = self._alive_nbr_cache.get(i)
+        if out is None:
+            nbrs = self.neighbors(i)
+            out = nbrs[self._alive[nbrs]]
+            self._alive_nbr_cache[i] = out
+        return out
 
     def invalidate(self) -> None:
-        """Drop cached neighbor sets and graphs after a topology change."""
+        """Drop every topology cache after a wholesale change.
+
+        The incremental grid index never needs this for single-node moves
+        (``move_node`` patches in place); it remains the escape hatch for
+        callers that rewrite ``positions`` directly.
+        """
         self._neighbor_cache = None
+        self._grid = None
         self._graph_cache.clear()
+        self._csr_cache.clear()
+        self._alive_nbr_cache.clear()
+        self._edge_epoch += 1
 
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
     def move_node(self, node_id: int, pos: Iterable[float]) -> None:
-        """Relocate a node (gateway mobility) and invalidate caches."""
+        """Relocate a node (gateway mobility).
+
+        With the grid index this is incremental: only node ``node_id``'s
+        neighbor row and the affected reverse rows (old minus new, new
+        minus old) are updated, cached graphs are edge-patched around the
+        node, and the epoch is bumped only when the edge set actually
+        changed.  The brute-force reference invalidates everything.
+        """
         if not 0 <= node_id < len(self.nodes):
             raise TopologyError(f"no such node: {node_id}")
-        self.positions[node_id] = np.asarray(list(pos), dtype=float)
-        self.invalidate()
+        new_pos = np.asarray(list(pos), dtype=float)
+        self.positions[node_id] = new_pos
+        if self.index == "bruteforce" or self._neighbor_cache is None:
+            # No cache built yet: nothing to patch, the next query builds
+            # from the already-updated positions.
+            if self.index == "bruteforce":
+                self.invalidate()
+            return
+
+        self._grid.move(node_id)
+        new_row = self._grid.neighbors_within(node_id, self.comm_range)
+        old_row = self._neighbor_cache[node_id]
+        if np.array_equal(new_row, old_row):
+            return  # position changed, edge set did not
+        removed = np.setdiff1d(old_row, new_row, assume_unique=True)
+        added = np.setdiff1d(new_row, old_row, assume_unique=True)
+        self._neighbor_cache[node_id] = new_row
+        cache = self._neighbor_cache
+        for j in removed:
+            row = cache[j]
+            cache[j] = row[row != node_id]
+        for j in added:
+            row = cache[j]
+            cache[j] = np.insert(row, int(np.searchsorted(row, node_id)), node_id)
+        self._edge_epoch += 1
+        self._csr_cache.clear()
+        self._alive_nbr_cache.clear()
+        self._patch_graphs_after_move(node_id, removed, added)
+
+    def _patch_graphs_after_move(
+        self, node_id: int, removed: np.ndarray, added: np.ndarray
+    ) -> None:
+        """Edge-patch cached nx graphs in place around a moved node."""
+        for alive_only, (_, g) in self._graph_cache.items():
+            if node_id not in g:
+                continue  # dead/sleeping node in the alive view: no edges
+            for j in removed:
+                jj = int(j)
+                if g.has_edge(node_id, jj):
+                    g.remove_edge(node_id, jj)
+            for j in added:
+                jj = int(j)
+                if jj in g:
+                    g.add_edge(node_id, jj, weight=1.0)
+
+    # ------------------------------------------------------------------
+    # liveness maintenance (listener target; see Node.bind_alive_listener)
+    # ------------------------------------------------------------------
+    def _on_alive_change(self, node_id: int, alive: bool) -> None:
+        if bool(self._alive[node_id]) == bool(alive):
+            return
+        self._alive[node_id] = alive
+        self._alive_version += 1
+        self._csr_cache.pop(True, None)
+        self._alive_nbr_cache.clear()
+        cached = self._graph_cache.get(True)
+        if cached is None:
+            return
+        if self.index == "bruteforce":
+            # Reference behavior: the alive graph goes stale and is
+            # rebuilt wholesale on the next query.
+            self._graph_cache.pop(True, None)
+            return
+        _, g = cached
+        if alive:
+            g.add_node(node_id, kind=self.nodes[node_id].kind)
+            for j in self.neighbors(node_id):
+                jj = int(j)
+                if self._alive[jj]:
+                    g.add_edge(node_id, jj, weight=1.0)
+        elif node_id in g:
+            g.remove_node(node_id)
+        self._graph_cache[True] = (self._alive_version, g)
 
     # ------------------------------------------------------------------
     # graph views
     # ------------------------------------------------------------------
-    def _alive_mask(self) -> np.ndarray:
-        return np.fromiter(
-            (n.alive for n in self.nodes), dtype=bool, count=len(self.nodes)
-        )
-
     def graph(self, alive_only: bool = True) -> nx.Graph:
         """The one-hop link graph as a :class:`networkx.Graph`.
 
-        The graph is cached and revalidated against the current alive
-        mask, so repeated queries (the mesh backbone recomputes routes on
-        every forwarding decision; E9 recomputes reachability per failure
-        step) rebuild only when a node moved, died or recovered.  Treat
-        the returned graph as read-only.
+        The graph is cached; with the grid index it is *patched* in place
+        as nodes move, die or recover, so repeated queries (the mesh
+        backbone recomputes routes on every forwarding decision; E9
+        recomputes reachability per failure step) almost never rebuild.
+        Treat the returned graph as read-only.
         """
-        mask = self._alive_mask() if alive_only else None
         cached = self._graph_cache.get(alive_only)
         if cached is not None:
-            cached_mask, cached_graph = cached
-            if mask is None or np.array_equal(mask, cached_mask):
-                return cached_graph
+            version, g = cached
+            if not alive_only or version == self._alive_version:
+                return g
         g = nx.Graph()
+        alive = self._alive
         for node in self.nodes:
-            if alive_only and not node.alive:
+            if alive_only and not alive[node.node_id]:
                 continue
             g.add_node(node.node_id, kind=node.kind)
         for i in g.nodes:
@@ -184,20 +348,67 @@ class Network:
                 j = int(j)
                 if j > i and j in g.nodes:
                     g.add_edge(i, j, weight=1.0)
-        self._graph_cache[alive_only] = (mask, g)
+        self._graph_cache[alive_only] = (self._alive_version if alive_only else -1, g)
         return g
+
+    # ------------------------------------------------------------------
+    # hop counts (CSR multi-source BFS)
+    # ------------------------------------------------------------------
+    def _csr_adjacency(self, alive_only: bool) -> csr_matrix:
+        """Cached CSR adjacency, rebuilt only when epoch/alive change."""
+        version = self._alive_version if alive_only else -1
+        cached = self._csr_cache.get(alive_only)
+        if cached is not None and cached[0] == self._edge_epoch and cached[1] == version:
+            return cached[2]
+        if self._neighbor_cache is None:
+            self._neighbor_cache = self._build_neighbor_cache()
+        rows = self._neighbor_cache
+        n = len(self.nodes)
+        lens = np.fromiter((len(r) for r in rows), dtype=np.int64, count=n)
+        flat = np.concatenate(rows) if lens.sum() else np.empty(0, dtype=np.intp)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(lens, out=indptr[1:])
+        if alive_only:
+            # Keep an entry iff both endpoints are alive; the segmented
+            # cumulative-sum trick rebuilds indptr without a Python loop.
+            keep = self._alive[flat] & np.repeat(self._alive, lens)
+            kept = np.zeros(len(flat) + 1, dtype=np.int64)
+            np.cumsum(keep, out=kept[1:])
+            indices = flat[keep]
+            indptr = kept[indptr]
+        else:
+            indices = flat
+        mat = csr_matrix(
+            (np.ones(len(indices), dtype=np.int8), indices.astype(np.int64), indptr),
+            shape=(n, n),
+        )
+        self._csr_cache[alive_only] = (self._edge_epoch, version, mat)
+        return mat
 
     def hops_to(self, targets: Sequence[int], alive_only: bool = True) -> dict[int, int]:
         """Minimum hop count from every reachable node to the nearest target.
 
-        Multi-source BFS over the link graph; the ground truth that SPR's
-        discovered routes are tested against.
+        Multi-source BFS; the ground truth that SPR's discovered routes
+        are tested against.  The grid index runs it as one unweighted
+        Dijkstra sweep over the cached CSR adjacency; the brute-force
+        reference keeps the original networkx implementation.
         """
-        g = self.graph(alive_only=alive_only)
-        targets = [t for t in targets if t in g.nodes]
-        if not targets:
+        n = len(self.nodes)
+        if alive_only:
+            valid = sorted({int(t) for t in targets if 0 <= int(t) < n and self._alive[int(t)]})
+        else:
+            valid = sorted({int(t) for t in targets if 0 <= int(t) < n})
+        if not valid:
             return {}
-        return nx.multi_source_dijkstra_path_length(g, set(targets), weight=None)
+        if self.index == "bruteforce":
+            g = self.graph(alive_only=alive_only)
+            return dict(nx.multi_source_dijkstra_path_length(g, set(valid), weight=None))
+        mat = self._csr_adjacency(alive_only)
+        dist = _csgraph_dijkstra(
+            mat, directed=True, unweighted=True, indices=valid, min_only=True
+        )
+        reachable = np.isfinite(dist)
+        return {int(i): int(dist[i]) for i in np.nonzero(reachable)[0]}
 
     def is_collection_connected(self) -> bool:
         """True when every alive sensor can reach at least one gateway."""
@@ -220,7 +431,9 @@ def uniform_deployment(
     return rng.uniform(margin, field_size - margin, size=(n, 2))
 
 
-def grid_deployment(rows: int, cols: int, spacing: float, jitter: float = 0.0, seed: int | None = 0) -> np.ndarray:
+def grid_deployment(
+    rows: int, cols: int, spacing: float, jitter: float = 0.0, seed: int | None = 0
+) -> np.ndarray:
     """A ``rows`` × ``cols`` grid with optional positional jitter."""
     if rows <= 0 or cols <= 0 or spacing <= 0 or jitter < 0:
         raise ConfigurationError("rows, cols, spacing must be positive; jitter >= 0")
@@ -237,6 +450,7 @@ def build_sensor_network(
     gateway_positions: np.ndarray,
     comm_range: float = 40.0,
     sensor_battery: float = math.inf,
+    index: str = "grid",
 ) -> Network:
     """Assemble a sensor-tier :class:`Network`: sensors first, then gateways.
 
@@ -249,4 +463,6 @@ def build_sensor_network(
         gateway_positions = gateway_positions.reshape(1, 2)
     positions = np.vstack([sensor_positions, gateway_positions])
     kinds = [NodeKind.SENSOR] * len(sensor_positions) + [NodeKind.GATEWAY] * len(gateway_positions)
-    return Network(positions, kinds, comm_range=comm_range, sensor_battery=sensor_battery)
+    return Network(
+        positions, kinds, comm_range=comm_range, sensor_battery=sensor_battery, index=index
+    )

@@ -76,6 +76,42 @@ class Node:
     failed: bool = False
     sleeping: bool = False
 
+    # Class-level default: no listener until the network binds one, so the
+    # dataclass __init__ and listener-free nodes stay on the fast path.
+    _alive_listener: Optional[Callable[[int, bool], None]] = None
+
+    def bind_alive_listener(self, listener: Callable[[int, bool], None]) -> None:
+        """Register ``listener(node_id, alive)``, fired on liveness flips.
+
+        The :class:`~repro.sim.network.Network` binds this to maintain its
+        NumPy alive mask incrementally.  Every way a node's ``alive`` can
+        change is covered: ``failed``/``sleeping`` assignments are caught
+        by :meth:`__setattr__`, battery exhaustion by the energy account's
+        ``on_death`` hook (re-bound if ``energy`` is swapped out).
+        """
+        object.__setattr__(self, "_alive_listener", listener)
+        self.energy.on_death = self._notify_alive
+
+    def _notify_alive(self) -> None:
+        if self._alive_listener is not None:
+            self._alive_listener(self.node_id, self.alive)
+
+    def __setattr__(self, name: str, value) -> None:
+        listener = self.__dict__.get("_alive_listener")
+        if listener is None:
+            object.__setattr__(self, name, value)
+            return
+        if name in ("failed", "sleeping"):
+            before = self.alive
+            object.__setattr__(self, name, value)
+            if self.alive != before:
+                listener(self.node_id, self.alive)
+            return
+        object.__setattr__(self, name, value)
+        if name == "energy":
+            value.on_death = self._notify_alive
+            self._notify_alive()
+
     @property
     def alive(self) -> bool:
         """True when the node can participate in the network.

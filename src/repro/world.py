@@ -174,6 +174,8 @@ class WorldBuilder:
         self._places: Optional[FeasiblePlaces] = None
         self._require_connected: bool = False
         self._vectorized: bool = True
+        self._spatial_index: str = "grid"
+        self._node_spec: Optional[tuple[np.ndarray, Sequence[NodeKind], Optional[float]]] = None
 
     # -- engine ---------------------------------------------------------
     def seed(self, protocol_seed: int | None) -> "WorldBuilder":
@@ -198,11 +200,12 @@ class WorldBuilder:
         kinds: Sequence[NodeKind],
         comm_range: Optional[float] = None,
     ) -> "WorldBuilder":
-        """Arbitrary node mix (mesh tiers: gateways/routers/base stations)."""
-        rng = comm_range if comm_range is not None else self._comm_range
-        if rng is None:
-            raise ConfigurationError("nodes() needs a comm_range (argument or comm_range())")
-        self._network = Network(np.asarray(positions, dtype=float), kinds, comm_range=rng)
+        """Arbitrary node mix (mesh tiers: gateways/routers/base stations).
+
+        Construction is deferred to :meth:`build` so later builder calls
+        (``comm_range``, ``spatial_index``) still apply.
+        """
+        self._node_spec = (np.asarray(positions, dtype=float), list(kinds), comm_range)
         return self
 
     def sensors(self, positions: np.ndarray) -> "WorldBuilder":
@@ -269,6 +272,18 @@ class WorldBuilder:
         self._vectorized = False
         return self
 
+    def spatial_index(self, index: str) -> "WorldBuilder":
+        """Neighbor maintenance strategy for built topologies.
+
+        ``"grid"`` (default) — incremental cell-grid index with in-place
+        graph patching and CSR hop queries; ``"bruteforce"`` — the dense
+        reference implementation with full invalidation (benchmarks and
+        equivalence tests).  Ignored when :meth:`network` supplies an
+        already-built topology.
+        """
+        self._spatial_index = index
+        return self
+
     # -- extras ---------------------------------------------------------
     def places(self, places: FeasiblePlaces) -> "WorldBuilder":
         """Feasible gateway places carried on the world (MLR rounds)."""
@@ -277,10 +292,23 @@ class WorldBuilder:
 
     # -- build ----------------------------------------------------------
     def _resolve_network(self) -> Network:
+        given = [
+            self._network is not None,
+            self._node_spec is not None,
+            self._sensor_positions is not None or self._gateway_positions is not None,
+        ]
+        if sum(given) > 1:
+            raise ConfigurationError(
+                "give either network()/nodes() or sensor/gateway positions, not both"
+            )
         if self._network is not None:
-            if self._sensor_positions is not None or self._gateway_positions is not None:
-                raise ConfigurationError("give either network()/nodes() or sensor/gateway positions, not both")
             return self._network
+        if self._node_spec is not None:
+            positions, kinds, spec_range = self._node_spec
+            rng = spec_range if spec_range is not None else self._comm_range
+            if rng is None:
+                raise ConfigurationError("nodes() needs a comm_range (argument or comm_range())")
+            return Network(positions, kinds, comm_range=rng, index=self._spatial_index)
         if self._sensor_positions is None:
             raise ConfigurationError("no topology: call network(), nodes(), sensors() or a deployment method")
         if self._gateway_positions is None:
@@ -295,6 +323,7 @@ class WorldBuilder:
             self._gateway_positions,
             comm_range=comm_range,
             sensor_battery=self._sensor_battery,
+            index=self._spatial_index,
         )
 
     def build(self) -> World:

@@ -50,8 +50,20 @@ class TestNeighbors:
 
     def test_alive_neighbors_excludes_dead(self, line_network):
         line_network.nodes[1].fail()
-        assert line_network.alive_neighbors(0) == []
-        assert line_network.alive_neighbors(2) == [3]
+        assert list(line_network.alive_neighbors(0)) == []
+        assert list(line_network.alive_neighbors(2)) == [3]
+
+    def test_alive_neighbors_tracks_recovery(self, line_network):
+        line_network.nodes[1].fail()
+        assert list(line_network.alive_neighbors(0)) == []
+        line_network.nodes[1].recover()
+        assert list(line_network.alive_neighbors(0)) == [1]
+
+    def test_alive_neighbors_cached_between_changes(self, line_network):
+        first = line_network.alive_neighbors(2)
+        assert line_network.alive_neighbors(2) is first  # dict hit
+        line_network.nodes[3].fail()
+        assert list(line_network.alive_neighbors(2)) == [1]
 
 
 class TestGraph:

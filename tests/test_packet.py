@@ -72,3 +72,42 @@ def test_explicit_uid_override_in_fork():
 def test_all_kinds_distinct():
     values = [k.value for k in PacketKind]
     assert len(values) == len(set(values))
+
+
+class TestSizeCache:
+    def test_size_computed_once(self):
+        p = _pkt(payload_bytes=10)
+        assert p._size_bytes_cached is None
+        first = p.size_bytes()
+        assert p._size_bytes_cached == first
+        assert p.size_bytes() == first
+
+    def test_fork_recomputes_for_grown_path(self):
+        p = _pkt(path=(1,))
+        base = p.size_bytes()
+        q = p.fork(path=(1, 2, 3))
+        assert q._size_bytes_cached is None  # replace() resets init=False field
+        assert q.size_bytes() == base + 2 * PATH_ENTRY_BYTES
+        assert p.size_bytes() == base  # original cache untouched
+
+    def test_with_hop_keeps_size(self):
+        p = _pkt(payload_bytes=DATA_PAYLOAD_BYTES)
+        size = p.size_bytes()
+        assert p.with_hop(4, 5).size_bytes() == size
+
+    def test_inplace_payload_growth_invalidates(self):
+        # SecMLR decorates packets in place: payload_bytes += envelope.
+        p = _pkt(payload_bytes=10)
+        before = p.size_bytes()
+        p.payload_bytes += 24
+        assert p.size_bytes() == before + 24
+
+    def test_inplace_path_and_security_invalidate(self):
+        p = _pkt()
+        base = p.size_bytes()
+        p.path = (1, 2)
+        assert p.size_bytes() == base + 2 * PATH_ENTRY_BYTES
+        p.security = SecurityEnvelope(
+            ciphertext=b"ct", mac=b"x" * 8, counter=0, claimed_sender=1
+        )
+        assert p.size_bytes() == base + 2 * PATH_ENTRY_BYTES + 16

@@ -12,7 +12,7 @@ from repro.sim.trace import MetricsCollector
 
 
 def _setup(loss=0.0, collisions=False, csma=False, comm_range=12.0, seed=1, arq=0,
-           backoff=2e-3):
+           backoff=2e-3, vectorized=True):
     sensors = np.array([[0.0, 0.0], [10.0, 0.0], [20.0, 0.0]])
     gateway = np.array([[30.0, 0.0]])
     net = build_sensor_network(sensors, gateway, comm_range=comm_range)
@@ -22,7 +22,7 @@ def _setup(loss=0.0, collisions=False, csma=False, comm_range=12.0, seed=1, arq=
         loss_rate=loss, collisions=collisions, csma=csma, arq_retries=arq,
         backoff_window=backoff,
     )
-    ch = Channel(sim, net, cfg, metrics=MetricsCollector())
+    ch = Channel(sim, net, cfg, metrics=MetricsCollector(), vectorized=vectorized)
     return sim, net, ch
 
 
@@ -80,6 +80,23 @@ class TestDelivery:
         ch.send(0, _data(0, dst=3))  # node 3 is 30m away, range 12
         sim.run()
         assert ch.metrics.drops["no_link"] == 1
+
+    def test_scalar_fanout_counts_no_link(self):
+        # The scalar path flags the destination during the loop instead of
+        # rescanning the neighbor array; accounting must match vectorized.
+        sim, net, ch = _setup(vectorized=False)
+        ch.send(0, _data(0, dst=3))
+        sim.run()
+        assert ch.metrics.drops["no_link"] == 1
+
+    def test_scalar_fanout_in_range_no_drop(self):
+        sim, net, ch = _setup(vectorized=False)
+        got = []
+        net.nodes[1].handler = got.append
+        ch.send(0, _data(0, dst=1))
+        sim.run()
+        assert len(got) == 1
+        assert ch.metrics.drops.get("no_link", 0) == 0
 
 
 class TestEnergy:

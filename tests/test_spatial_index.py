@@ -1,0 +1,320 @@
+"""Equivalence suite: incremental grid spatial index vs brute-force reference.
+
+The grid index (``Network(index="grid")``) must be *indistinguishable*
+from the dense reference (``index="bruteforce"``) on every observable:
+neighbor arrays (values, order, dtype-insensitive), patched graphs after
+moves/deaths/recoveries, CSR multi-source-BFS hop counts vs networkx, and
+— because neighbor iteration order feeds the channel's RNG draws — whole
+simulations must be bit-identical under either index.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.base import ProtocolConfig
+from repro.core.spr import SPR
+from repro.exceptions import ConfigurationError
+from repro.sim.network import Network, build_sensor_network
+from repro.sim.node import NodeKind
+from repro.sim.spatial import CellGrid
+from repro.world import WorldBuilder
+
+COMM_RANGE = 30.0
+FIELD = 100.0
+
+
+def _kinds(n):
+    return [NodeKind.SENSOR] * (n - 1) + [NodeKind.GATEWAY]
+
+
+def _pair(pos, comm_range=COMM_RANGE):
+    """The same deployment under both index implementations."""
+    kinds = _kinds(len(pos))
+    return (
+        Network(pos, kinds, comm_range=comm_range, index="grid"),
+        Network(pos, kinds, comm_range=comm_range, index="bruteforce"),
+    )
+
+
+def _positions(n, seed, field=FIELD):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0, field, size=(n, 2))
+
+
+def assert_same_neighbors(grid_net, brute_net):
+    assert len(grid_net) == len(brute_net)
+    for i in range(len(grid_net)):
+        g, b = grid_net.neighbors(i), brute_net.neighbors(i)
+        assert np.array_equal(g, b), f"node {i}: grid {g} != brute {b}"
+
+
+# ----------------------------------------------------------------------
+# neighbor-set equivalence
+# ----------------------------------------------------------------------
+class TestNeighborEquivalence:
+    @given(st.integers(min_value=2, max_value=60), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_rows_match_bruteforce(self, n, seed):
+        grid_net, brute_net = _pair(_positions(n, seed))
+        assert_same_neighbors(grid_net, brute_net)
+
+    def test_exact_comm_range_is_a_link(self):
+        # d == comm_range must be an edge under both indexes (closed ball).
+        pos = np.array([[0.0, 0.0], [COMM_RANGE, 0.0], [2 * COMM_RANGE + 0.001, 0.0]])
+        grid_net, brute_net = _pair(pos)
+        assert list(grid_net.neighbors(0)) == [1]
+        assert_same_neighbors(grid_net, brute_net)
+
+    def test_nodes_on_cell_boundaries(self):
+        # Coordinates at exact multiples of the cell side (== comm_range)
+        # land on bucket boundaries; negative coordinates exercise floor
+        # semantics below zero.
+        r = COMM_RANGE
+        pos = np.array([
+            [0.0, 0.0], [r, 0.0], [2 * r, 0.0], [0.0, r], [r, r],
+            [-r, 0.0], [-r, -r], [0.0, -r], [r / 2, r / 2],
+        ])
+        grid_net, brute_net = _pair(pos)
+        assert_same_neighbors(grid_net, brute_net)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_quantized_positions(self, seed):
+        # Positions snapped to multiples of comm_range/2 pile nodes onto
+        # cell borders and at distances exactly equal to the range.
+        rng = np.random.default_rng(seed)
+        pos = rng.integers(-3, 4, size=(25, 2)).astype(float) * (COMM_RANGE / 2)
+        grid_net, brute_net = _pair(pos)
+        assert_same_neighbors(grid_net, brute_net)
+
+    def test_grid_rejects_radius_beyond_cell(self):
+        grid = CellGrid(np.zeros((2, 2)), cell_size=10.0)
+        with pytest.raises(ConfigurationError):
+            grid.neighbors_within(0, 10.5)
+
+    def test_unknown_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Network(np.zeros((2, 2)), [NodeKind.SENSOR] * 2, index="kdtree")
+
+
+# ----------------------------------------------------------------------
+# incremental moves
+# ----------------------------------------------------------------------
+class TestIncrementalMoves:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_random_move_sequence_matches_fresh_rebuild(self, seed):
+        rng = np.random.default_rng(seed)
+        pos = _positions(30, seed)
+        grid_net, _ = _pair(pos)
+        grid_net.neighbors(0)  # force the incremental path, not a rebuild
+        for _ in range(8):
+            mover = int(rng.integers(len(pos)))
+            target = rng.uniform(-20, FIELD + 20, size=2)
+            grid_net.move_node(mover, target)
+            pos[mover] = target
+            fresh = Network(pos, _kinds(len(pos)), comm_range=COMM_RANGE, index="bruteforce")
+            assert_same_neighbors(grid_net, fresh)
+
+    def test_move_round_trip_restores_rows(self):
+        pos = _positions(25, seed=3)
+        grid_net, _ = _pair(pos)
+        before = [grid_net.neighbors(i).copy() for i in range(len(grid_net))]
+        home = pos[24].copy()
+        for step in ([5.0, 5.0], [95.0, 95.0], [-10.0, 50.0], home):
+            grid_net.move_node(24, step)
+        for i, row in enumerate(before):
+            assert np.array_equal(grid_net.neighbors(i), row)
+
+    def test_noop_move_keeps_edge_epoch(self):
+        grid_net, _ = _pair(_positions(20, seed=1))
+        grid_net.neighbors(0)
+        epoch = grid_net.topology_epoch
+        # A tiny jiggle that changes no neighbor set must not invalidate
+        # CSR/graph caches (the epoch is the validity stamp).
+        grid_net.move_node(0, grid_net.positions[0] + 1e-9)
+        assert grid_net.topology_epoch == epoch
+
+    def test_move_before_first_query_builds_lazily(self):
+        pos = _positions(15, seed=2)
+        grid_net, _ = _pair(pos)
+        grid_net.move_node(3, [0.0, 0.0])  # no cache yet: nothing to patch
+        pos[3] = [0.0, 0.0]
+        fresh = Network(pos, _kinds(len(pos)), comm_range=COMM_RANGE, index="bruteforce")
+        assert_same_neighbors(grid_net, fresh)
+
+    def test_invalidate_escape_hatch(self):
+        pos = _positions(15, seed=4)
+        grid_net, _ = _pair(pos)
+        grid_net.neighbors(0)
+        grid_net.positions[:] = _positions(15, seed=5)  # wholesale rewrite
+        grid_net.invalidate()
+        fresh = Network(
+            grid_net.positions, _kinds(len(pos)), comm_range=COMM_RANGE, index="bruteforce"
+        )
+        assert_same_neighbors(grid_net, fresh)
+
+
+# ----------------------------------------------------------------------
+# graph patching under moves and deaths
+# ----------------------------------------------------------------------
+def _graph_signature(g):
+    return (set(g.nodes), {frozenset(e) for e in g.edges})
+
+
+class TestGraphPatching:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_patched_graph_equals_rebuilt(self, seed):
+        rng = np.random.default_rng(seed)
+        pos = _positions(30, seed)
+        grid_net, brute_net = _pair(pos)
+        grid_net.graph()  # prime the cache so later queries are patches
+        for _ in range(6):
+            action = rng.integers(3)
+            node = int(rng.integers(len(pos)))
+            if action == 0:
+                target = rng.uniform(0, FIELD, size=2)
+                grid_net.move_node(node, target)
+                brute_net.move_node(node, target)
+            elif action == 1:
+                grid_net.nodes[node].fail()
+                brute_net.nodes[node].fail()
+            else:
+                grid_net.nodes[node].recover()
+                brute_net.nodes[node].recover()
+            assert _graph_signature(grid_net.graph()) == _graph_signature(brute_net.graph())
+            assert _graph_signature(grid_net.graph(alive_only=False)) == _graph_signature(
+                brute_net.graph(alive_only=False)
+            )
+
+    def test_patched_graph_is_same_object(self, line_network):
+        g1 = line_network.graph()
+        gw = line_network.gateway_ids[0]
+        line_network.move_node(gw, (0.0, 10.0))
+        g2 = line_network.graph()
+        assert g2 is g1  # patched in place, not rebuilt
+        assert g2.has_edge(0, gw) and not g2.has_edge(4, gw)
+
+    def test_death_patches_alive_graph(self, line_network):
+        g = line_network.graph()
+        line_network.nodes[2].fail()
+        assert 2 not in line_network.graph()
+        line_network.nodes[2].recover()
+        assert sorted(line_network.graph()[2]) == [1, 3]
+        assert line_network.graph() is g
+
+    def test_sleep_counts_as_not_alive(self, line_network):
+        line_network.graph()
+        line_network.nodes[1].sleeping = True
+        assert 1 not in line_network.graph()
+        line_network.nodes[1].sleeping = False
+        assert 1 in line_network.graph()
+
+    def test_battery_death_updates_mask(self):
+        net = build_sensor_network(
+            np.array([[0.0, 0.0], [10.0, 0.0]]), np.array([[20.0, 0.0]]),
+            comm_range=12.0, sensor_battery=1.0,
+        )
+        net.graph()
+        assert bool(net.alive_mask[0])
+        net.nodes[0].energy.charge_tx(2.0, now=1.0)
+        assert not bool(net.alive_mask[0])
+        assert 0 not in net.graph()
+
+
+# ----------------------------------------------------------------------
+# hops_to: CSR BFS vs networkx
+# ----------------------------------------------------------------------
+class TestHopsEquivalence:
+    @given(st.integers(min_value=5, max_value=50), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_hops_match_networkx(self, n, seed):
+        rng = np.random.default_rng(seed)
+        pos = _positions(n, seed)
+        grid_net, brute_net = _pair(pos)
+        kills = rng.choice(n, size=min(3, n - 1), replace=False)
+        for k in kills:
+            grid_net.nodes[int(k)].fail()
+            brute_net.nodes[int(k)].fail()
+        targets = grid_net.gateway_ids + [int(kills[0])]
+        assert grid_net.hops_to(targets) == brute_net.hops_to(targets)
+        assert grid_net.hops_to(targets, alive_only=False) == brute_net.hops_to(
+            targets, alive_only=False
+        )
+
+    def test_hops_after_moves(self, line_network):
+        # line_network uses the default grid index; a brute twin is the oracle.
+        brute = build_sensor_network(
+            np.array([[float(10 * i), 0.0] for i in range(5)]),
+            np.array([[50.0, 0.0]]), comm_range=12.0, index="bruteforce",
+        )
+        gw = line_network.gateway_ids[0]
+        line_network.hops_to([gw])
+        for target in ([0.0, 10.0], [25.0, 5.0], [50.0, 0.0]):
+            line_network.move_node(gw, target)
+            brute.move_node(gw, target)
+            assert line_network.hops_to([gw]) == brute.hops_to([gw])
+
+    def test_empty_and_invalid_targets(self, line_network):
+        assert line_network.hops_to([]) == {}
+        assert line_network.hops_to([99, -1]) == {}
+        line_network.nodes[5].fail()
+        assert line_network.hops_to([5]) == {}  # dead target filtered
+        assert 5 in line_network.hops_to([5], alive_only=False)
+
+    def test_collection_connectivity_matches(self):
+        pos = _positions(40, seed=11)
+        grid_net, brute_net = _pair(pos)
+        assert grid_net.is_collection_connected() == brute_net.is_collection_connected()
+
+
+# ----------------------------------------------------------------------
+# alive_neighbors vectorisation
+# ----------------------------------------------------------------------
+class TestAliveNeighbors:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_python_filter(self, seed):
+        rng = np.random.default_rng(seed)
+        net, _ = _pair(_positions(30, seed))
+        for k in rng.choice(30, size=5, replace=False):
+            net.nodes[int(k)].fail()
+        for i in range(30):
+            expected = [int(j) for j in net.neighbors(i) if net.nodes[int(j)].alive]
+            assert list(net.alive_neighbors(i)) == expected
+
+
+# ----------------------------------------------------------------------
+# whole-simulation determinism across indexes
+# ----------------------------------------------------------------------
+class TestSimulationEquivalence:
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_flood_bit_identical_across_indexes(self, vectorized):
+        def run(index):
+            builder = (
+                WorldBuilder()
+                .seed(7)
+                .uniform_sensors(80, field_size=150.0, topology_seed=13)
+                .gateways([[75.0, 75.0]])
+                .comm_range(COMM_RANGE)
+                .ideal_radio()
+                .spatial_index(index)
+            )
+            if not vectorized:
+                builder.scalar_fanout()
+            world = builder.build()
+            spr = world.attach(SPR, ProtocolConfig(table_answering=False))
+            for k in range(4):
+                world.sim.schedule(0.5 * k, spr.send_data, k)
+            world.sim.run()
+            m = world.metrics
+            return (
+                world.events_processed,
+                int(sum(m.sent.values())),
+                int(sum(m.received.values())),
+                dict(m.drops),
+            )
+
+        assert run("grid") == run("bruteforce")
