@@ -43,10 +43,12 @@ class DirectTransmission:
 
     def send_data(self, source: int, payload_bytes: Optional[int] = None) -> int:
         data_id = next(self._data_ids)
-        self.metrics.on_data_generated()
+        self.metrics.on_data_generated(origin=source, data_id=data_id, now=self.sim.now)
         node = self.network.nodes[source]
         if not node.alive:
-            self.metrics.on_drop("dead_source")
+            self.metrics.on_terminal_drop(
+                "dead_source", key=(source, data_id), node=source, now=self.sim.now
+            )
             return data_id
         sink = min(self.network.gateway_ids, key=lambda g: self.network.distance(source, g))
         nbytes = payload_bytes if payload_bytes is not None else self.payload_bytes

@@ -54,10 +54,12 @@ class Flooding:
 
     def send_data(self, source: int, payload_bytes: Optional[int] = None) -> int:
         data_id = next(self._data_ids)
-        self.metrics.on_data_generated()
+        self.metrics.on_data_generated(origin=source, data_id=data_id, now=self.sim.now)
         node = self.network.nodes[source]
         if not node.alive:
-            self.metrics.on_drop("dead_source")
+            self.metrics.on_terminal_drop(
+                "dead_source", key=(source, data_id), node=source, now=self.sim.now
+            )
             return data_id
         pkt = Packet(
             kind=PacketKind.DATA,
@@ -94,6 +96,9 @@ class Flooding:
             return
         self._seen[node_id].add(data_id)
         if pkt.ttl <= 1:
+            # One flood copy expired; siblings may still deliver, so the
+            # drop stays frame-level (the datum's broadcast exemption
+            # covers it if every copy dies this way).
             self.metrics.on_drop("ttl")
             return
         self.channel.send(
@@ -106,10 +111,12 @@ class Gossiping(Flooding):
 
     def send_data(self, source: int, payload_bytes: Optional[int] = None) -> int:
         data_id = next(self._data_ids)
-        self.metrics.on_data_generated()
+        self.metrics.on_data_generated(origin=source, data_id=data_id, now=self.sim.now)
         node = self.network.nodes[source]
         if not node.alive:
-            self.metrics.on_drop("dead_source")
+            self.metrics.on_terminal_drop(
+                "dead_source", key=(source, data_id), node=source, now=self.sim.now
+            )
             return data_id
         pkt = Packet(
             kind=PacketKind.DATA,
@@ -128,7 +135,8 @@ class Gossiping(Flooding):
         # neighbor (the datum walks until TTL or luck).
         alive = self.network.alive_neighbors(node_id)
         if len(alive) == 0:
-            self.metrics.on_drop("isolated")
+            # The walk carries the only copy: a stranded walker is terminal.
+            self.metrics.on_terminal_drop("isolated", pkt, node=node_id, now=self.sim.now)
             return
         gws = [int(n) for n in alive if self.network.nodes[n].kind is NodeKind.GATEWAY]
         if gws:
@@ -150,6 +158,6 @@ class Gossiping(Flooding):
                 self.metrics.on_data_delivered(pkt, node_id, self.sim.now)
             return
         if pkt.ttl <= 1:
-            self.metrics.on_drop("ttl")
+            self.metrics.on_terminal_drop("ttl", pkt, node=node_id, now=self.sim.now)
             return
         self._gossip_forward(node_id, pkt)

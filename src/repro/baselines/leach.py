@@ -79,7 +79,11 @@ class LEACH:
         self.current_round = -1
         self.heads: list[int] = []
         self.cluster_of: dict[int, int] = {}
-        self._buffered: dict[int, list[int]] = {}
+        # Buffered datums keep their (origin, data_id) identity so the
+        # head's uplink delivers them under the true source — delivery
+        # records used to credit the head as origin, breaking per-datum
+        # dedup and the conservation ledger.
+        self._buffered: dict[int, list[tuple[int, int]]] = {}
         self._last_head_round: dict[int, int] = {}
 
     # ------------------------------------------------------------------
@@ -99,6 +103,13 @@ class LEACH:
         self.current_round = r
         self.heads = []
         self.cluster_of = {}
+        # Re-clustering discards anything still buffered at old heads —
+        # account for those datums instead of silently dropping the dict.
+        for head, items in self._buffered.items():
+            for origin, did in items:
+                self.metrics.on_terminal_drop(
+                    "stale_buffer", key=(origin, did), node=head, now=self.sim.now
+                )
         self._buffered = {}
         rng = self.sim.rng
         alive_sensors = [s for s in self.network.sensor_ids if self.network.nodes[s].alive]
@@ -140,65 +151,85 @@ class LEACH:
     # ------------------------------------------------------------------
     def send_data(self, source: int, payload_bytes: Optional[int] = None) -> int:
         data_id = next(self._data_ids)
-        self.metrics.on_data_generated()
+        self.metrics.on_data_generated(origin=source, data_id=data_id, now=self.sim.now)
         node = self.network.nodes[source]
         if not node.alive:
-            self.metrics.on_drop("dead_source")
+            self.metrics.on_terminal_drop(
+                "dead_source", key=(source, data_id), node=source, now=self.sim.now
+            )
             return data_id
         nbytes = payload_bytes if payload_bytes is not None else self.config.data_payload_bytes
         bits = 8 * (MAC_HEADER_BYTES + nbytes)
 
         if source in self._buffered:  # this node is a head
-            self._buffered[source].append(data_id)
+            self._buffered[source].append((source, data_id))
             return data_id
 
         head = self.cluster_of.get(source)
         if head is None or not self.network.nodes[head].alive:
             # Headless round: transmit directly to the sink (LEACH's
             # degenerate case — exactly DirectTransmission cost).
-            self._uplink(source, [data_id], bits)
+            self._uplink(source, [(source, data_id)], bits)
             return data_id
 
         d = self.network.distance(source, head)
         if not self._charge_tx(source, bits, d):
-            self.metrics.on_drop("dead_source")
+            self.metrics.on_terminal_drop(
+                "dead_source", key=(source, data_id), node=source, now=self.sim.now
+            )
             return data_id
         self._make_send_record(PacketKind.DATA, nbytes)
         if self._charge_rx(head, bits):
-            self._buffered.setdefault(head, []).append(data_id)
+            self._buffered.setdefault(head, []).append((source, data_id))
         else:
-            self.metrics.on_drop("dead_next_hop")
+            self.metrics.on_terminal_drop(
+                "dead_next_hop", key=(source, data_id), node=head, now=self.sim.now
+            )
         return data_id
 
     def flush_round(self) -> None:
         """Heads fuse buffered data and uplink one frame each to the sink."""
-        for head, ids in self._buffered.items():
-            if not ids or not self.network.nodes[head].alive:
+        for head, items in self._buffered.items():
+            if not items:
+                continue
+            if not self.network.nodes[head].alive:
+                # The head died holding the cluster's data: every buffered
+                # datum is lost with it.
+                for origin, did in items:
+                    self.metrics.on_terminal_drop(
+                        "dead_next_hop", key=(origin, did), node=head, now=self.sim.now
+                    )
                 continue
             nbytes = self.config.data_payload_bytes
             bits = 8 * (MAC_HEADER_BYTES + nbytes)
             # Aggregation energy: E_DA per bit per fused signal.
-            agg = self.config.aggregation_energy * bits * len(ids)
+            agg = self.config.aggregation_energy * bits * len(items)
             self.network.nodes[head].energy.charge_tx(agg, self.sim.now)
             self._check_death(head)
-            self._uplink(head, ids, bits)
+            self._uplink(head, items, bits)
         self._buffered = {h: [] for h in self._buffered}
 
-    def _uplink(self, node_id: int, data_ids: list[int], bits: int) -> None:
+    def _uplink(self, node_id: int, items: list[tuple[int, int]], bits: int) -> None:
         d = self.network.distance(node_id, self.sink)
         if not self._charge_tx(node_id, bits, d):
-            self.metrics.on_drop("dead_source")
+            # The uplinker is dead: each datum it carried dies separately
+            # (one drop per datum, not per frame — the ledger needs every
+            # datum to reach a terminal state).
+            for origin, did in items:
+                self.metrics.on_terminal_drop(
+                    "dead_source", key=(origin, did), node=node_id, now=self.sim.now
+                )
             return
         nbytes = bits // 8 - MAC_HEADER_BYTES
         self._make_send_record(PacketKind.DATA, nbytes)
-        for did in data_ids:
+        for origin, did in items:
             pkt = Packet(
                 kind=PacketKind.DATA,
-                origin=node_id,
+                origin=origin,
                 target=self.sink,
                 payload={"data_id": did},
                 payload_bytes=nbytes,
-                hop_count=2 if node_id in self._buffered else 1,
+                hop_count=1 if origin == node_id else 2,
                 created_at=self.sim.now,
             )
             self.metrics.on_data_delivered(pkt, self.sink, self.sim.now)

@@ -91,14 +91,18 @@ class MCFA:
         if not self._setup_done:
             raise RoutingError("call setup() and run the cost wave before sending data")
         data_id = next(self._data_ids)
-        self.metrics.on_data_generated()
+        self.metrics.on_data_generated(origin=source, data_id=data_id, now=self.sim.now)
         node = self.network.nodes[source]
         if not node.alive:
-            self.metrics.on_drop("dead_source")
+            self.metrics.on_terminal_drop(
+                "dead_source", key=(source, data_id), node=source, now=self.sim.now
+            )
             return data_id
         cost = self.cost.get(source)
         if cost is None:
-            self.metrics.on_drop("no_route")
+            self.metrics.on_terminal_drop(
+                "no_route", key=(source, data_id), node=source, now=self.sim.now
+            )
             return data_id
         pkt = Packet(
             kind=PacketKind.DATA,

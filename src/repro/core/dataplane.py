@@ -55,9 +55,11 @@ class DataPlaneForwarder:
         if node.kind is not NodeKind.SENSOR:
             raise RoutingError(f"only sensors generate data (node {source} is {node.kind})")
         data_id = next(self._data_ids)
-        self.metrics.on_data_generated()
+        self.metrics.on_data_generated(origin=source, data_id=data_id, now=self.sim.now)
         if not node.alive:
-            self.metrics.on_drop("dead_source")
+            self.metrics.on_terminal_drop(
+                "dead_source", key=(source, data_id), node=source, now=self.sim.now
+            )
             return data_id
         payload = {
             "data_id": data_id,
@@ -75,6 +77,7 @@ class DataPlaneForwarder:
             self._transmit_data(source, entry, payload)
             return
         self._pending_data.setdefault(source, []).append(payload)
+        self.metrics.on_data_queued(source, payload["data_id"])
         if source not in self._discovery:
             self._start_discovery(source)
 
@@ -112,15 +115,21 @@ class DataPlaneForwarder:
     def _forward_data(self, node_id: int, pkt: Packet, next_hop: int) -> None:
         behavior = self.behaviors.get(node_id)
         if behavior is not None and behavior.drop_outgoing_data(pkt):
-            self.metrics.on_drop("blackhole")
+            self.metrics.on_terminal_drop("blackhole", pkt, node=node_id, now=self.sim.now)
             return
         if not self._valid_node(next_hop):
-            self.metrics.on_drop("misrouted")
+            self.metrics.on_terminal_drop("misrouted", pkt, node=node_id, now=self.sim.now)
             return
         if not self.network.nodes[next_hop].alive:
-            self.metrics.on_drop("dead_next_hop")
             if self.config.repair_routes:
+                # Non-terminal: the RERR below carries the stranded datum
+                # back toward its source (the ledger follows it there).
+                self.metrics.on_drop("dead_next_hop")
                 self._report_route_error(node_id, pkt)
+            else:
+                self.metrics.on_terminal_drop(
+                    "dead_next_hop", pkt, node=node_id, now=self.sim.now
+                )
             return
         self.channel.send(node_id, pkt.with_hop(node_id, next_hop))
 
@@ -135,11 +144,13 @@ class DataPlaneForwarder:
             self._handle_route_error_at_source(detector, key, pkt.payload)
             return
         if not traversed or detector not in traversed:
-            self.metrics.on_drop("unrepairable")
+            self.metrics.on_terminal_drop("unrepairable", pkt, node=detector, now=self.sim.now)
             return
         idx = traversed.index(detector)
         if idx == 0:
-            self.metrics.on_drop("unrepairable")
+            # The detector heads the traversed list but is not the origin
+            # (pos == 0 with no upstream hop): nowhere to send the RERR.
+            self.metrics.on_terminal_drop("unrepairable", pkt, node=detector, now=self.sim.now)
             return
         back = traversed[: idx + 1]
         rerr = Packet(
@@ -172,7 +183,12 @@ class DataPlaneForwarder:
         }
         repairs = data_payload.get("repairs", 0) + 1
         if repairs > self.config.max_repairs_per_packet:
-            self.metrics.on_drop("unrepairable")
+            self.metrics.on_terminal_drop(
+                "unrepairable",
+                key=(source, data_payload["data_id"]),
+                node=source,
+                now=self.sim.now,
+            )
             return
         payload = {
             "data_id": data_payload["data_id"],
@@ -199,7 +215,9 @@ class DataPlaneForwarder:
             # Routing loop (stale entries can point at each other after
             # repairs) or hop budget exhausted: drop and purge the local
             # entry so the loop cannot re-form from this node's table.
-            self.metrics.on_drop("loop" if node_id in traversed else "ttl")
+            self.metrics.on_terminal_drop(
+                "loop" if node_id in traversed else "ttl", pkt, node=node_id, now=self.sim.now
+            )
             self.tables[node_id].remove(pkt.payload.get("key"))
             return
         traversed.append(node_id)
@@ -211,12 +229,12 @@ class DataPlaneForwarder:
             try:
                 i = pkt.path.index(node_id)
             except ValueError:
-                self.metrics.on_drop("misrouted")
+                self.metrics.on_terminal_drop("misrouted", pkt, node=node_id, now=self.sim.now)
                 return
             suffix = RouteEntry(key=pkt.payload["key"], gateway=pkt.path[-1], path=pkt.path[i:])
             self.tables[node_id].install(suffix, replace_worse_only=True)
             if i + 1 >= len(pkt.path):
-                self.metrics.on_drop("misrouted")
+                self.metrics.on_terminal_drop("misrouted", pkt, node=node_id, now=self.sim.now)
                 return
             self._forward_data(node_id, fwd, pkt.path[i + 1])
             return
@@ -226,9 +244,11 @@ class DataPlaneForwarder:
             # The source-routed announcement for this flow never reached us
             # (lost or swallowed en route): bounce the payload back so the
             # source re-announces / re-routes.
-            self.metrics.on_drop("no_route")
             if self.config.repair_routes:
+                self.metrics.on_drop("no_route")
                 self._report_route_error(node_id, fwd)
+            else:
+                self.metrics.on_terminal_drop("no_route", pkt, node=node_id, now=self.sim.now)
             return
         next_hop = entry.next_hop if entry.hops > 0 else entry.gateway
         next_hop = self.gateway_for_key(node_id, entry.key, next_hop) if entry.hops <= 1 else next_hop
@@ -244,14 +264,17 @@ class DataPlaneForwarder:
             self._handle_route_error_at_source(node_id, pkt.payload["key"], pkt.payload["data"])
             return
         if pos >= len(back) or back[pos] != node_id or pos == 0:
-            self.metrics.on_drop("misrouted")
+            # The RERR is off its back path (corrupted pos, or a detector
+            # at pos 0 with no upstream hop): the stranded datum it
+            # carries dies with it.
+            self.metrics.on_terminal_drop("misrouted", pkt, node=node_id, now=self.sim.now)
             return
         # The downstream segment of this route is broken: purge the local
         # entry so Property-1 table answering stops advertising it.
         self.tables[node_id].remove(pkt.payload["key"])
         prev = back[pos - 1]
         if not self._valid_node(prev) or not self.network.nodes[prev].alive:
-            self.metrics.on_drop("unrepairable")
+            self.metrics.on_terminal_drop("unrepairable", pkt, node=node_id, now=self.sim.now)
             return
         nxt = pkt.fork(src=node_id, dst=prev, hop_count=pkt.hop_count + 1)
         nxt.payload["pos"] = pos - 1

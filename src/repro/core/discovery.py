@@ -106,13 +106,26 @@ class FloodDiscoveryEngine:
         self.sim.schedule(delay, self._retry_discovery, source, attempts)
 
     def _retry_discovery(self, source: int, attempts: int) -> None:
-        if source in self._discovery or not self.network.nodes[source].alive:
+        if source in self._discovery:
+            return
+        if not self.network.nodes[source].alive:
+            # A dead source can never finish discovery: drain its queued
+            # data to a terminal state instead of stranding it forever.
+            for payload in self._pending_data.pop(source, []):
+                self.metrics.on_terminal_drop(
+                    "dead_source",
+                    key=(source, payload["data_id"]),
+                    node=source,
+                    now=self.sim.now,
+                )
             return
         self._start_discovery(source, attempts=attempts + 1)
 
     def _fail_discovery(self, source: int) -> None:
-        for _ in self._pending_data.pop(source, []):
-            self.metrics.on_drop("no_route")
+        for payload in self._pending_data.pop(source, []):
+            self.metrics.on_terminal_drop(
+                "no_route", key=(source, payload["data_id"]), node=source, now=self.sim.now
+            )
 
     # ------------------------------------------------------------------
     # RREQ flood (Step 2/3)

@@ -150,23 +150,32 @@ class LoadBalancedMLR(MLR):
         missing = self.discovery_targets(source)
         if missing and source not in self._discovery:
             self._pending_data.setdefault(source, []).append(payload)
+            self.metrics.on_data_queued(source, payload["data_id"])
             self._start_discovery(source)
             return
         if source in self._discovery:
             self._pending_data.setdefault(source, []).append(payload)
+            self.metrics.on_data_queued(source, payload["data_id"])
             return
         entry = self._best_entry(source)
         if entry is not None:
             self._transmit_data(source, entry, payload)
             return
-        self.metrics.on_drop("no_route")
+        self.metrics.on_terminal_drop(
+            "no_route", key=(source, payload["data_id"]), node=source, now=self.sim.now
+        )
 
     def _flush_via_existing(self, source: int) -> None:
         pending = self._pending_data.pop(source, [])
         entry = self._best_entry(source)
         for payload in pending:
             if entry is None:
-                self.metrics.on_drop("no_route")
+                self.metrics.on_terminal_drop(
+                    "no_route",
+                    key=(source, payload["data_id"]),
+                    node=source,
+                    now=self.sim.now,
+                )
             else:
                 self._transmit_data(source, entry, payload)
 

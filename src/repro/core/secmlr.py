@@ -276,25 +276,28 @@ class SecMLR(MLR):
         return packet
 
     def gateway_accepts_data(self, gateway: int, packet: Packet) -> bool:
+        # Rejections are terminal for the datum copy carried by this
+        # frame (the ledger ignores forged/unknown keys and keeps the
+        # DELIVERED state of an original whose replay is rejected).
         env = packet.payload.get("sec")
         if env is None:
             self.rejected["bad_mac"] += 1
-            self.metrics.on_drop("bad_mac")
+            self.metrics.on_terminal_drop("bad_mac", packet, node=gateway, now=self.sim.now)
             return False
         claimed = env["claimed"]
         key = self.keystore.pairwise_key(claimed, gateway)
         ct = bytes.fromhex(env["ct"])
         if not verify_mac(key, env["ctr"], ct, bytes.fromhex(env["mac"])):
             self.rejected["bad_mac"] += 1
-            self.metrics.on_drop("bad_mac")
+            self.metrics.on_terminal_drop("bad_mac", packet, node=gateway, now=self.sim.now)
             return False
         if claimed != packet.origin:
             self.rejected["bad_mac"] += 1
-            self.metrics.on_drop("spoofed")
+            self.metrics.on_terminal_drop("spoofed", packet, node=gateway, now=self.sim.now)
             return False
         if not self._gateway_counters[gateway].accept(("data", claimed), env["ctr"]):
             self.rejected["replay"] += 1
-            self.metrics.on_drop("replay")
+            self.metrics.on_terminal_drop("replay", packet, node=gateway, now=self.sim.now)
             return False
         return True
 
@@ -431,18 +434,22 @@ class SecMLR(MLR):
         # data packet").
         fe = self.tables[node_id].match_forwarding(pkt.origin, pkt.payload.get("key"))
         if fe is None:
-            self.metrics.on_drop("no_route")
             if self.config.repair_routes:
+                self.metrics.on_drop("no_route")
                 bounce = pkt.fork()
                 bounce.payload["traversed"] = list(pkt.payload.get("traversed", ())) + [node_id]
                 self._report_route_error(node_id, bounce)
+            else:
+                self.metrics.on_terminal_drop("no_route", pkt, node=node_id, now=self.sim.now)
             return
         if pkt.payload.get("IR") != node_id or pkt.payload.get("IS") != pkt.src:
-            self.metrics.on_drop("misrouted")
+            self.metrics.on_terminal_drop("misrouted", pkt, node=node_id, now=self.sim.now)
             return
         traversed = list(pkt.payload.get("traversed", ()))
         if node_id in traversed or pkt.ttl <= 0:
-            self.metrics.on_drop("loop" if node_id in traversed else "ttl")
+            self.metrics.on_terminal_drop(
+                "loop" if node_id in traversed else "ttl", pkt, node=node_id, now=self.sim.now
+            )
             self.tables[node_id].remove(pkt.payload.get("key"))
             return
         traversed.append(node_id)

@@ -43,3 +43,13 @@ class SecurityError(ReproError):
 
 class ConfigurationError(ReproError):
     """Raised when user-supplied configuration is inconsistent."""
+
+
+class ConservationError(ReproError):
+    """Raised when the packet-conservation invariant is violated.
+
+    Under audit mode (``WorldBuilder().audit()`` / ``REPRO_AUDIT=1``) the
+    ledger enforces ``data_generated == unique_delivered + terminal_drops
+    + pending`` — a violation means a datum vanished without a recorded
+    terminal state, or a delivery was double-counted.
+    """

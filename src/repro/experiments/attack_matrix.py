@@ -21,7 +21,7 @@ MAC can prevent — only re-routing mitigates it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.analysis.tables import format_table
 from repro.core.mlr import MLR
@@ -72,6 +72,9 @@ class AttackCell:
     forged_accepted: int
     rejected: int
     attacker_stats: dict
+    #: Terminal drop reasons from the conservation ledger — what the
+    #: attack actually did to the honest datums that went missing.
+    drops: dict = field(default_factory=dict)
 
 
 @serializable
@@ -162,6 +165,7 @@ def _run_single(
     scenario = make_uniform_scenario(
         n_sensors, field_size, gw_positions,
         comm_range=comm_range, topology_seed=seed, protocol_seed=seed + 13,
+        audit=True,
     )
     sim, net, ch = scenario.sim, scenario.network, scenario.channel
     schedule = GatewaySchedule.rotating(places, net.gateway_ids, num_rounds=rounds, seed=seed)
@@ -210,17 +214,17 @@ def _run_single(
     sim.run()
 
     m = ch.metrics
-    from collections import Counter
-
-    honest_deliveries = [r for r in m.deliveries if r.uid < 5_000_000]
-    honest_uids = {(r.origin, r.uid) for r in honest_deliveries}
-    forged = sum(1 for r in m.deliveries if r.uid >= 5_000_000)
-    copies = Counter((r.origin, r.uid) for r in honest_deliveries)
-    duplicates = sum(v - 1 for v in copies.values())
+    ledger = m.ledger
+    # Ledger-based slicing: honest datums are exactly the ledger entries
+    # (only on_data_generated creates them); anything a gateway accepted
+    # without a matching entry — forged ids, impersonations — lands in
+    # unknown_delivered; replay success is the per-entry duplicate count.
+    forged = sum(ledger.unknown_delivered.values())
+    duplicates = ledger.duplicate_deliveries
     rejected = 0
     if isinstance(protocol, SecMLR):
         rejected = sum(protocol.security_rejections.values())
-    delivery = min(1.0, len(honest_uids) / m.data_generated) if m.data_generated else 0.0
+    delivery = ledger.delivered / ledger.generated if ledger.generated else 0.0
     stats = {}
     for b in behaviors:
         for k, v in getattr(b, "stats", {}).items():
@@ -228,6 +232,7 @@ def _run_single(
         tunnel_stats = getattr(getattr(b, "tunnel", None), "stats", None)
         if tunnel_stats:
             stats.update(dict(tunnel_stats))
+    scenario.assert_conserved()
     return AttackCell(
         attack=attack,
         protocol="SecMLR" if isinstance(protocol, SecMLR) else "MLR",
@@ -236,6 +241,7 @@ def _run_single(
         forged_accepted=forged,
         rejected=rejected,
         attacker_stats=stats,
+        drops=dict(sorted(ledger.drops_by_reason().items())),
     )
 
 

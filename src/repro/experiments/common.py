@@ -117,8 +117,13 @@ def make_uniform_scenario(
     energy_model: Optional[EnergyModel] = None,
     require_connected: bool = True,
     spatial_index: str = "grid",
+    audit: Optional[bool] = None,
 ) -> Scenario:
-    """Uniform random deployment with explicit gateway positions."""
+    """Uniform random deployment with explicit gateway positions.
+
+    ``audit=True`` attaches the packet-conservation ledger (see
+    :mod:`repro.obs`); ``None`` defers to the ``REPRO_AUDIT`` default.
+    """
     builder = (
         WorldBuilder()
         .seed(protocol_seed)
@@ -130,6 +135,8 @@ def make_uniform_scenario(
         .require_connected(require_connected)
         .spatial_index(spatial_index)
     )
+    if audit is not None:
+        builder.audit(audit)
     if energy_model is not None:
         builder.energy(energy_model)
     return builder.build()
@@ -146,6 +153,7 @@ def make_grid_scenario(
     radio: Optional[RadioConfig] = None,
     energy_model: Optional[EnergyModel] = None,
     spatial_index: str = "grid",
+    audit: Optional[bool] = None,
 ) -> Scenario:
     """Regular grid deployment (deterministic topologies for tests)."""
     builder = (
@@ -157,6 +165,8 @@ def make_grid_scenario(
         .radio(radio or IEEE802154.ideal())
         .spatial_index(spatial_index)
     )
+    if audit is not None:
+        builder.audit(audit)
     if comm_range is not None:
         builder.comm_range(comm_range)
     if energy_model is not None:

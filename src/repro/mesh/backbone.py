@@ -133,16 +133,31 @@ class MeshBackbone:
         Returns False if no route exists right now (caller may retry after
         the topology changes).
         """
+        did = payload.get("data_id")
+        if did is not None:
+            # Identified payloads (the three-tier stack's uplinks) enter
+            # mesh-tier conservation; anonymous payloads stay untracked.
+            self.metrics.on_data_generated(origin=src, data_id=did, now=self.sim.now)
         if dst is None:
             try:
                 dst = self.nearest_base_station(src)
             except TopologyError:
-                self.metrics.on_drop("no_route")
+                self.metrics.on_terminal_drop(
+                    "no_route",
+                    key=(src, did) if did is not None else None,
+                    node=src,
+                    now=self.sim.now,
+                )
                 return False
         try:
             path = self.shortest_path(src, dst)
         except TopologyError:
-            self.metrics.on_drop("no_route")
+            self.metrics.on_terminal_drop(
+                "no_route",
+                key=(src, did) if did is not None else None,
+                node=src,
+                now=self.sim.now,
+            )
             return False
         pkt = Packet(
             kind=PacketKind.DATA,
@@ -165,7 +180,7 @@ class MeshBackbone:
         try:
             i = pkt.path.index(node_id)
         except ValueError:
-            self.metrics.on_drop("misrouted")
+            self.metrics.on_terminal_drop("misrouted", pkt, node=node_id, now=self.sim.now)
             return
         next_hop = pkt.path[i + 1]
         if not self.network.nodes[next_hop].alive:
@@ -173,7 +188,7 @@ class MeshBackbone:
             try:
                 new_path = self.shortest_path(node_id, pkt.target)
             except TopologyError:
-                self.metrics.on_drop("no_route")
+                self.metrics.on_terminal_drop("no_route", pkt, node=node_id, now=self.sim.now)
                 return
             pkt = pkt.fork(path=tuple(pkt.path[: i] if i else ()) + tuple(new_path))
             next_hop = new_path[1]

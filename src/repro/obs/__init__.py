@@ -1,0 +1,38 @@
+"""Packet-lifecycle observability: conservation ledger, auditor, CLI.
+
+The headline numbers of every experiment (delivery ratio, drop slices,
+overhead) are only as trustworthy as the accounting underneath them.
+This package makes *packet conservation* — every generated application
+datum is delivered, dropped with a recorded reason, or demonstrably
+still pending — a checkable (and, under audit mode, enforced) invariant:
+
+:mod:`repro.obs.ledger`
+    :class:`PacketLedger` — one :class:`LedgerEntry` per application
+    datum, advanced through ``GENERATED → QUEUED/IN_FLIGHT →
+    DELIVERED | DROPPED(reason)`` by the :class:`~repro.sim.trace.
+    MetricsCollector` hooks.
+:mod:`repro.obs.audit`
+    :class:`ConservationReport` and :func:`audit_collector` /
+    :func:`assert_conserved` — evaluate the conservation law
+    ``data_generated == unique_delivered + terminal_drops + pending``
+    with per-reason and per-node breakdowns.
+:mod:`repro.obs.cli`
+    ``python -m repro.obs trace.jsonl`` — replay a sweep-runner JSONL
+    trace into a per-experiment drop-reason audit table.
+
+Enable enforcement per world (``WorldBuilder().audit()``), per collector
+(``MetricsCollector(audit=True)``) or globally (``REPRO_AUDIT=1``).
+"""
+
+from repro.obs.audit import ConservationReport, assert_conserved, audit_collector
+from repro.obs.ledger import DatumState, LedgerEntry, PacketLedger, datum_key
+
+__all__ = [
+    "DatumState",
+    "LedgerEntry",
+    "PacketLedger",
+    "datum_key",
+    "ConservationReport",
+    "audit_collector",
+    "assert_conserved",
+]

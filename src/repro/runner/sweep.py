@@ -53,6 +53,8 @@ def _execute_cell(experiment: str, params: dict, seed: int) -> dict:
         "payload": to_jsonable(result),
         "wall_clock_s": time.perf_counter() - t0,
         "events_processed": recorder.events_processed,
+        "drops": recorder.drops_by_reason(),
+        "conservation": recorder.conservation_summary(),
         "pid": os.getpid(),
     }
 
@@ -70,9 +72,15 @@ class CellOutcome:
     wall_clock_s: float
     events_processed: int
     result: ExperimentResult = None
+    #: reason -> drop count, summed over the cell's worlds (empty for
+    #: cache hits — the cache stores results, not observability).
+    drops: dict = field(default_factory=dict)
+    #: Summed conservation report (see WorldEventRecorder), None when the
+    #: cell ran without audit mode or was served from the cache.
+    conservation: Optional[dict] = None
 
     def trace_record(self) -> dict:
-        return {
+        record = {
             "type": "cell",
             "experiment": self.experiment,
             "seed": self.seed,
@@ -81,6 +89,11 @@ class CellOutcome:
             "wall_clock_s": round(self.wall_clock_s, 6),
             "events_processed": self.events_processed,
         }
+        if self.drops:
+            record["drops"] = dict(self.drops)
+        if self.conservation is not None:
+            record["conservation"] = self.conservation
+        return record
 
 
 @dataclass
@@ -247,6 +260,8 @@ class SweepRunner:
                     wall_clock_s=raw["wall_clock_s"],
                     events_processed=raw["events_processed"],
                     result=from_jsonable(raw["payload"]),
+                    drops=raw.get("drops") or {},
+                    conservation=raw.get("conservation"),
                 )
                 if self.cache is not None:
                     self.cache.put(cell, outcome.result)

@@ -92,7 +92,9 @@ class SelectiveForwarder(NodeBehavior):
         if packet.kind is PacketKind.DATA and packet.origin != node_id:
             if protocol.sim.rng.random() < self.drop_probability:
                 self.stats["dropped_data"] += 1
-                protocol.metrics.on_drop("blackhole")
+                protocol.metrics.on_terminal_drop(
+                    "blackhole", packet, node=node_id, now=protocol.sim.now
+                )
                 return True
         return False
 
@@ -116,7 +118,9 @@ class SinkholeAttacker(NodeBehavior):
     def intercept(self, node_id: int, packet: Packet, protocol) -> bool:
         if packet.kind is PacketKind.DATA and packet.origin != node_id:
             self.stats["swallowed_data"] += 1
-            protocol.metrics.on_drop("blackhole")
+            protocol.metrics.on_terminal_drop(
+                "blackhole", packet, node=node_id, now=protocol.sim.now
+            )
             return True
         if packet.kind is not PacketKind.RREQ or packet.origin == node_id:
             return False
@@ -390,7 +394,9 @@ class WormholeEndpoint(NodeBehavior):
         if packet.kind is PacketKind.DATA and packet.origin != node_id:
             if self.swallow_data:
                 self.tunnel.stats["swallowed_data"] += 1
-                protocol.metrics.on_drop("blackhole")
+                protocol.metrics.on_terminal_drop(
+                    "blackhole", packet, node=node_id, now=protocol.sim.now
+                )
                 return True
             # Benign wormhole: shuttle the data across the tunnel.
             fwd = packet.fork(src=node_id)

@@ -117,6 +117,7 @@ class Simulator:
         self._now = 0.0
         self._running = False
         self._events_processed = 0
+        self._idle_hooks: list[Callable[[], None]] = []
         self.rng: np.random.Generator = np.random.default_rng(seed)
         _LIVE_SIMULATORS.add(self)
 
@@ -168,6 +169,18 @@ class Simulator:
         ev = Event(when, next(self._counter), fn, args)
         heapq.heappush(self._queue, (when, ev.seq, ev))
         return ev
+
+    def add_idle_hook(self, fn: Callable[[], None]) -> None:
+        """Register ``fn()`` to run whenever :meth:`run` drains the queue.
+
+        Idle hooks fire at *quiescence* — the heap is empty, so nothing
+        can make further progress.  That is the one moment end-of-run
+        invariants (packet conservation under audit mode) are checkable:
+        any datum still queued or in flight is permanently stuck.  Hooks
+        run in registration order and must not schedule new events.
+        """
+        if fn not in self._idle_hooks:  # == dedupes re-bound methods too
+            self._idle_hooks.append(fn)
 
     # ------------------------------------------------------------------
     # execution
@@ -224,6 +237,9 @@ class Simulator:
                     processed += 1
             if until is not None and self._now < until:
                 self._now = until
+            if not self._queue:
+                for hook in self._idle_hooks:
+                    hook()
         finally:
             self._running = False
 

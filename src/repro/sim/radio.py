@@ -127,7 +127,9 @@ class Channel:
         """
         node = self.network.nodes[sender]
         if not node.alive:
-            self.metrics.on_drop("dead_node")
+            # A dead sender holds the only copy of whatever it carries —
+            # terminal for any datum aboard.
+            self.metrics.on_terminal_drop("dead_node", packet, node=sender, now=self.sim.now)
             return False
         packet.src = sender
 
@@ -148,7 +150,9 @@ class Channel:
     def _begin_tx(self, sender: int, packet: Packet, attempt: int = 0) -> None:
         node = self.network.nodes[sender]
         if not node.alive:
-            self.metrics.on_drop("dead_node")
+            # Sender died between queuing and transmit — the frame (and
+            # any datum it carries) dies with it.
+            self.metrics.on_terminal_drop("dead_node", packet, node=sender, now=self.sim.now)
             return
         if self.config.csma:
             # Carrier sensing happens at transmit time: defer while any
@@ -200,6 +204,13 @@ class Channel:
             arrive = end + prop
             if intended and self.config.loss_rate > 0.0 and rng.random() < self.config.loss_rate:
                 self.metrics.on_drop("loss")
+                if self._medium_observed:
+                    # The frame is lost to the receiver, not to physics:
+                    # its energy still occupies the medium and collides
+                    # with overlapping receptions (non-deliverable entry).
+                    self.medium.register_reception(
+                        nb, start + prop, arrive, packet, sender, False, self.config.collisions
+                    )
                 if packet.dst is not None:
                     self.sim.schedule(
                         arrive - self.sim.now, self._maybe_retry, sender, packet, attempt
@@ -215,7 +226,8 @@ class Channel:
             # Link-layer unicast to a node that moved/died out of range —
             # the flag replaces an O(n) NumPy membership scan per frame
             # and keeps drop accounting identical to the vectorized path.
-            self.metrics.on_drop("no_link")
+            # No reception exists, so ARQ never fires: terminal.
+            self.metrics.on_terminal_drop("no_link", packet, node=sender, now=self.sim.now)
 
     def _fanout_vectorized(
         self, sender: int, packet: Packet, attempt: int,
@@ -232,7 +244,7 @@ class Channel:
         n = len(neighbors)
         if n == 0:
             if dst is not None:
-                self.metrics.on_drop("no_link")
+                self.metrics.on_terminal_drop("no_link", packet, node=sender, now=self.sim.now)
             return
         props = self.network.distances_from(sender, neighbors) / _SPEED_OF_LIGHT
         arrive_l = (end + props).tolist()
@@ -270,6 +282,10 @@ class Channel:
             arrive = arrive_l[idx]
             if lost_l is not None and lost_l[idx]:
                 self.metrics.on_drop("loss")
+                if interference:
+                    # Mirror of the scalar path: a lost frame still lands
+                    # as non-deliverable interference at the receiver.
+                    register(nb, start_l[idx], arrive, packet, sender, False, detect)
                 if dst is not None:
                     schedule(arrive - now, self._maybe_retry, sender, packet, attempt)
                 continue
@@ -283,15 +299,20 @@ class Channel:
 
         if not found_dst:
             # Link-layer unicast to a node that moved/died out of range.
-            self.metrics.on_drop("no_link")
+            self.metrics.on_terminal_drop("no_link", packet, node=sender, now=self.sim.now)
 
     # ------------------------------------------------------------------
     def _maybe_retry(self, sender: int, packet: Packet, attempt: int) -> None:
         """ARQ: retransmit a failed unicast frame (802.15.4 macMaxFrameRetries)."""
         if attempt >= self.config.arq_retries:
-            self.metrics.on_drop("arq_exhausted")
+            self.metrics.on_terminal_drop(
+                "arq_exhausted", packet, node=sender, now=self.sim.now
+            )
             return
         if not self.network.nodes[sender].alive:
+            # The retransmitter died between the failed attempt and the
+            # retry: the frame vanished silently before this fix.
+            self.metrics.on_terminal_drop("dead_node", packet, node=sender, now=self.sim.now)
             return
         backoff = self.sim.rng.uniform(0.0, self.config.backoff_window or 1e-9)
         self.sim.schedule(backoff, self._begin_tx, sender, packet, attempt + 1)
@@ -309,13 +330,29 @@ class Channel:
         """Reception without medium bookkeeping (collision-free radios)."""
         node = self.network.nodes[receiver]
         if not node.alive:
-            self.metrics.on_drop("dead_node")
+            # Unicast to a dead receiver gets no ACK and no retry event:
+            # terminal for the frame's datum.  A broadcast copy is only a
+            # frame-level loss — sibling copies may still deliver.
+            if packet.dst is not None:
+                self.metrics.on_terminal_drop(
+                    "dead_node", packet, node=receiver, now=self.sim.now
+                )
+            else:
+                self.metrics.on_drop("dead_node")
             return
         bits = packet.size_bits()
         was_alive = node.energy.alive
         node.energy.charge_rx(self.energy_model.rx_cost(bits), self.sim.now)
         if was_alive and not node.energy.alive:
             self.metrics.on_node_death(receiver, self.sim.now)
+            # The receiver's battery died mid-reception — the frame was
+            # never processed, and nothing else will account for it.
+            if packet.dst is not None:
+                self.metrics.on_terminal_drop(
+                    "dead_node", packet, node=receiver, now=self.sim.now
+                )
+            else:
+                self.metrics.on_drop("dead_node")
             return
         self.metrics.on_receive(packet)
         node.receive(packet)

@@ -29,6 +29,7 @@ in a recording to attribute simulation work without any global state.
 from __future__ import annotations
 
 import math
+from collections import Counter
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional, Sequence
@@ -70,10 +71,13 @@ class WorldEventRecorder:
 
     def __init__(self) -> None:
         self._tracked: list[tuple[Simulator, int]] = []
+        self._collectors: list[MetricsCollector] = []
 
-    def track(self, sim: Simulator) -> None:
+    def track(self, sim: Simulator, metrics: Optional[MetricsCollector] = None) -> None:
         if not any(s is sim for s, _ in self._tracked):
             self._tracked.append((sim, sim.events_processed))
+        if metrics is not None and not any(m is metrics for m in self._collectors):
+            self._collectors.append(metrics)
 
     @property
     def events_processed(self) -> int:
@@ -82,6 +86,39 @@ class WorldEventRecorder:
     @property
     def worlds_tracked(self) -> int:
         return len(self._tracked)
+
+    # -- observability aggregation (runner trace food) -----------------
+    def drops_by_reason(self) -> dict[str, int]:
+        """Terminal+frame drop counters summed over tracked collectors."""
+        total: Counter = Counter()
+        for m in self._collectors:
+            total.update(m.drops)
+        return dict(sorted(total.items()))
+
+    def conservation_summary(self) -> Optional[dict]:
+        """Summed conservation report over every audited collector.
+
+        ``None`` when no tracked collector carries a ledger (audit off) —
+        the runner trace then omits the block rather than writing zeros.
+        """
+        audited = [m for m in self._collectors if m.ledger is not None]
+        if not audited:
+            return None
+        totals = Counter()
+        violations: list[str] = []
+        for m in audited:
+            report = m.conservation_report(strict=True)
+            for key in ("generated", "delivered", "dropped", "pending",
+                        "duplicates", "unknown_delivered", "late_drops"):
+                totals[key] += getattr(report, key)
+            violations.extend(report.violations)
+        return {
+            **{k: int(totals[k]) for k in (
+                "generated", "delivered", "dropped", "pending",
+                "duplicates", "unknown_delivered", "late_drops")},
+            "audited_collectors": len(audited),
+            "violations": violations,
+        }
 
 
 _recorders: list[WorldEventRecorder] = []
@@ -131,6 +168,23 @@ class World:
         self.protocol = protocol_factory(self.sim, self.network, self.channel, *args, **kwargs)
         return self.protocol
 
+    # -- conservation audit --------------------------------------------
+    def conservation_report(self, strict: Optional[bool] = None):
+        """Audit packet conservation on demand (needs audit mode).
+
+        ``strict`` defaults to whether the simulator is quiescent — only
+        then does "still in flight" mean "permanently stuck".
+        """
+        if strict is None:
+            strict = self.sim.pending == 0
+        return self.metrics.conservation_report(strict=strict)
+
+    def assert_conserved(self, strict: Optional[bool] = None):
+        """Raise :class:`~repro.exceptions.ConservationError` on violation."""
+        if strict is None:
+            strict = self.sim.pending == 0
+        return self.metrics.assert_conserved(strict=strict)
+
 
 # ----------------------------------------------------------------------
 # the builder
@@ -171,6 +225,7 @@ class WorldBuilder:
         self._ideal: bool = False
         self._energy_model: Optional[EnergyModel] = None
         self._metrics: Optional[MetricsCollector] = None
+        self._audit: Optional[bool] = None
         self._places: Optional[FeasiblePlaces] = None
         self._require_connected: bool = False
         self._vectorized: bool = True
@@ -267,6 +322,18 @@ class WorldBuilder:
         self._metrics = collector
         return self
 
+    def audit(self, enabled: bool = True) -> "WorldBuilder":
+        """Enforce packet conservation on this world.
+
+        Attaches a :class:`repro.obs.ledger.PacketLedger` to the metrics
+        collector and registers a simulator idle hook that runs a strict
+        conservation audit at every quiescence — any datum left without a
+        terminal state raises :class:`~repro.exceptions.ConservationError`.
+        ``audit(False)`` opts a world out even under ``REPRO_AUDIT=1``.
+        """
+        self._audit = enabled
+        return self
+
     def scalar_fanout(self) -> "WorldBuilder":
         """Use the reference per-neighbor radio loop (benchmarks/tests)."""
         self._vectorized = False
@@ -335,14 +402,24 @@ class WorldBuilder:
                 "densify, enlarge the range or move gateways"
             )
         sim = self._sim if self._sim is not None else Simulator(seed=self._seed)
+        metrics = self._metrics or MetricsCollector()
+        if self._audit is True:
+            metrics.enable_audit()
+        elif self._audit is False:
+            metrics.audit = False
+        if metrics.audit and metrics.ledger is not None:
+            # Strict conservation at every quiescence: with an empty heap
+            # a queued or unicast-in-flight datum can never progress, so
+            # it must already be delivered or terminally dropped.
+            sim.add_idle_hook(metrics._audit_idle_hook)
         channel = Channel(
             sim,
             network,
             self._radio or IEEE802154,
             self._energy_model,
-            self._metrics or MetricsCollector(),
+            metrics,
             vectorized=self._vectorized,
         )
         for recorder in _recorders:
-            recorder.track(sim)
+            recorder.track(sim, metrics)
         return World(sim=sim, network=network, channel=channel, places=self._places)
