@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Regenerate every paper artifact (E1-E11) in one run.
+"""Regenerate every paper artifact (E1-E11, E14) in one run.
 
 A convenience driver over :mod:`repro.experiments`: prints each
 experiment's paper-style table in order. The benchmark suite
@@ -35,6 +35,8 @@ def main() -> None:
         ("E9  robustness", E.run_robustness, {}),
         ("E10 mobility overhead", E.run_mobility_overhead, {}),
         ("E11 LP bound", E.run_lp_bound, {}),
+        ("E14 chaos campaign", E.run_chaos,
+         {"n_sensors": 30, "rounds": 4} if fast else {}),
     ]
     t_all = time.time()
     for name, fn, kwargs in plan:

@@ -134,6 +134,27 @@ class DataPlaneForwarder:
         self.channel.send(node_id, pkt.with_hop(node_id, next_hop))
 
     # ------------------------------------------------------------------
+    # recovery support
+    # ------------------------------------------------------------------
+    def _purge_routes_through(self, node_id: int) -> int:
+        """Drop every table entry and announcement routed through ``node_id``.
+
+        While a node is down, RERR repair purges the entries that actual
+        traffic trips over — but unused entries through the node survive
+        in other nodes' tables, and the node's own suffix entries are
+        gone, so a post-recovery DATA forwarded on such a stale entry
+        dead-ends at the recovered node with ``no_route``.  The rejoin
+        path (:meth:`~repro.core.discovery.FloodDiscoveryEngine.
+        on_node_recovered`) calls this to force fresh source-routed
+        announcements and re-discovery instead.
+        """
+        purged = 0
+        for table in self.tables.values():
+            purged += table.purge_through(node_id)
+        self._announced = {a for a in self._announced if node_id not in a[2]}
+        return purged
+
+    # ------------------------------------------------------------------
     # route repair (RERR)
     # ------------------------------------------------------------------
     def _report_route_error(self, detector: int, pkt: Packet) -> None:

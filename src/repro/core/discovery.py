@@ -128,6 +128,37 @@ class FloodDiscoveryEngine:
             )
 
     # ------------------------------------------------------------------
+    # recovery rejoin
+    # ------------------------------------------------------------------
+    def on_node_recovered(self, node_id: int) -> None:
+        """Rejoin a node that just recovered from an injected failure.
+
+        A recovered node cannot trust its pre-crash routing state, and
+        the rest of the network cannot trust entries routed through it
+        (the node's own suffix entries are gone, so those paths now
+        dead-end).  The clean rejoin therefore:
+
+        1. wipes the recovered node's own routes, forwarding entries
+           and flood-suppression memory;
+        2. purges every other node's entries through the node, plus the
+           source-route announcements over those paths, so the next DATA
+           on an affected flow re-discovers and re-announces;
+        3. restarts discovery for data still queued at the node (its
+           in-progress discovery died with it — queued datums would
+           otherwise sit stuck until the strict audit flags them).
+
+        Called by the fault injector after :meth:`~repro.sim.node.Node.
+        recover` reports the node actually came back alive; never for
+        battery-dead nodes.
+        """
+        self.tables[node_id].clear()
+        self._seen_floods[node_id].clear()
+        self._purge_routes_through(node_id)
+        self._discovery.pop(node_id, None)
+        if self._pending_data.get(node_id):
+            self._start_discovery(node_id)
+
+    # ------------------------------------------------------------------
     # RREQ flood (Step 2/3)
     # ------------------------------------------------------------------
     def _on_rreq(self, node_id: int, pkt: Packet) -> None:

@@ -140,6 +140,31 @@ class RoutingTable:
     def remove(self, key: Hashable) -> None:
         self._routes.pop(key, None)
 
+    def clear(self) -> None:
+        """Drop every route and forwarding entry (recovered-node rejoin:
+        a node returning from a crash cannot trust its pre-crash state)."""
+        self._routes.clear()
+        self._forwarding.clear()
+
+    def purge_through(self, node_id: int) -> int:
+        """Remove all state that routes through (or at) ``node_id``.
+
+        Covers route entries whose path visits the node and SecMLR
+        forwarding 4-tuples that name it as an endpoint or immediate
+        hop.  Returns how many entries were removed — the recovery
+        rejoin uses this to decide whether anything was stale.
+        """
+        stale = [k for k, e in self._routes.items() if node_id in e.path]
+        for k in stale:
+            del self._routes[k]
+        stale_fwd = [
+            k for k, e in self._forwarding.items()
+            if node_id in (e.source, e.destination, e.immediate_sender, e.immediate_receiver)
+        ]
+        for k in stale_fwd:
+            del self._forwarding[k]
+        return len(stale) + len(stale_fwd)
+
     def best(self, active_keys: Optional[Iterable[Hashable]] = None) -> Optional[RouteEntry]:
         """Least-hops entry, optionally restricted to ``active_keys``.
 

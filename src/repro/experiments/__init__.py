@@ -1,4 +1,4 @@
-"""Experiment drivers (E1-E11), one module per paper artifact or claim.
+"""Experiment drivers (E1-E11, E14), one module per paper artifact or claim.
 
 Every module exposes a ``run_*`` function returning a result dataclass
 with a ``format_table()`` method printing the rows the paper reports (or
@@ -25,6 +25,7 @@ from repro.experiments.attack_matrix import run_attack_matrix, ATTACK_NAMES
 from repro.experiments.robustness import run_robustness
 from repro.experiments.mobility_overhead import run_mobility_overhead
 from repro.experiments.lp_bound import run_lp_bound
+from repro.experiments.chaos import run_chaos
 from repro.experiments.registry import (
     REGISTRY,
     ExperimentAdapter,
@@ -56,4 +57,5 @@ __all__ = [
     "run_robustness",
     "run_mobility_overhead",
     "run_lp_bound",
+    "run_chaos",
 ]

@@ -1,0 +1,12 @@
+"""E14 — chaos: randomized fault campaigns under conservation audit.
+
+Thin registry shim: the implementation lives in
+:mod:`repro.faults.campaign` (next to the plan/injector machinery it
+exercises), but the experiment is registered from here so the
+experiments package remains the single directory of runnable paper
+experiments — one module per registry entry.
+"""
+
+from repro.faults.campaign import ChaosResult, run_chaos
+
+__all__ = ["ChaosResult", "run_chaos"]

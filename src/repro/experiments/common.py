@@ -118,11 +118,14 @@ def make_uniform_scenario(
     require_connected: bool = True,
     spatial_index: str = "grid",
     audit: Optional[bool] = None,
+    fault_plan=None,
 ) -> Scenario:
     """Uniform random deployment with explicit gateway positions.
 
     ``audit=True`` attaches the packet-conservation ledger (see
     :mod:`repro.obs`); ``None`` defers to the ``REPRO_AUDIT`` default.
+    ``fault_plan`` arms a :class:`~repro.faults.plan.FaultPlan` on the
+    built world (exposed as ``scenario.faults``).
     """
     builder = (
         WorldBuilder()
@@ -139,6 +142,8 @@ def make_uniform_scenario(
         builder.audit(audit)
     if energy_model is not None:
         builder.energy(energy_model)
+    if fault_plan is not None:
+        builder.faults(fault_plan)
     return builder.build()
 
 

@@ -17,6 +17,7 @@ from typing import Any, Callable, Optional
 from repro.exceptions import ConfigurationError
 from repro.experiments.architecture import run_architecture
 from repro.experiments.attack_matrix import run_attack_matrix
+from repro.experiments.chaos import run_chaos
 from repro.experiments.fig2_hops import run_fig2
 from repro.experiments.gateway_count import run_gateway_count
 from repro.experiments.lifetime import run_lifetime_comparison
@@ -165,6 +166,10 @@ for _adapter in (
     ExperimentAdapter(
         "lp_bound", run_lp_bound, "repro.experiments.lp_bound",
         "E11 — LP lifetime bound vs the MLR heuristic",
+    ),
+    ExperimentAdapter(
+        "chaos", run_chaos, "repro.experiments.chaos",
+        "E14 — chaos: randomized fault campaigns under conservation audit",
     ),
 ):
     register(_adapter)

@@ -1,0 +1,47 @@
+"""Deterministic fault injection: plans, the injector, chaos campaigns.
+
+The robustness claims of the paper (no single point of failure,
+self-healing re-routing, Section 1/3/8) are only testable against
+*controlled, reproducible* failures.  This package makes faults part of
+the experiment definition instead of ad-hoc mutation inside drivers:
+
+:mod:`repro.faults.plan`
+    :class:`FaultPlan` — a serializable, ordered tuple of fault events
+    (:class:`Crash`, :class:`Recover`, :class:`RegionOutage`,
+    :class:`GatewayChurn`, :class:`BatteryDrain`, :class:`LinkDegrade`).
+    Plans travel inside sweep params and hash into cache keys, so fault
+    campaigns replay bit-identically from ``.repro_cache``.
+:mod:`repro.faults.injector`
+    :class:`FaultInjector` — compiles a plan onto the simulator event
+    queue at world-build time (``WorldBuilder().faults(plan)``) and
+    records the realized outage timeline for MTTR/availability
+    reporting (:mod:`repro.obs.recovery`).
+:mod:`repro.faults.campaign`
+    ``run_chaos`` — the registry's ``chaos`` experiment: a randomized,
+    seed-determined fault storm under strict conservation auditing.
+:mod:`repro.faults.cli`
+    ``python -m repro.faults`` — named campaigns (smoke / churn /
+    burst) through the sweep runner.
+"""
+
+from repro.faults.plan import (
+    BatteryDrain,
+    Crash,
+    FaultPlan,
+    GatewayChurn,
+    LinkDegrade,
+    Recover,
+    RegionOutage,
+)
+from repro.faults.injector import FaultInjector
+
+__all__ = [
+    "BatteryDrain",
+    "Crash",
+    "FaultPlan",
+    "GatewayChurn",
+    "LinkDegrade",
+    "Recover",
+    "RegionOutage",
+    "FaultInjector",
+]

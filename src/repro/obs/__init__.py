@@ -19,6 +19,10 @@ still pending — a checkable (and, under audit mode, enforced) invariant:
 :mod:`repro.obs.cli`
     ``python -m repro.obs trace.jsonl`` — replay a sweep-runner JSONL
     trace into a per-experiment drop-reason audit table.
+:mod:`repro.obs.recovery`
+    :class:`FaultWindow` / :class:`RecoveryReport` — join the fault
+    injector's outage timeline against the ledger's delivery record for
+    MTTR, availability and downtime accounting.
 
 Enable enforcement per world (``WorldBuilder().audit()``), per collector
 (``MetricsCollector(audit=True)``) or globally (``REPRO_AUDIT=1``).
@@ -26,6 +30,7 @@ Enable enforcement per world (``WorldBuilder().audit()``), per collector
 
 from repro.obs.audit import ConservationReport, assert_conserved, audit_collector
 from repro.obs.ledger import DatumState, LedgerEntry, PacketLedger, datum_key
+from repro.obs.recovery import FaultWindow, RecoveryReport, recovery_report
 
 __all__ = [
     "DatumState",
@@ -35,4 +40,7 @@ __all__ = [
     "ConservationReport",
     "audit_collector",
     "assert_conserved",
+    "FaultWindow",
+    "RecoveryReport",
+    "recovery_report",
 ]

@@ -1,0 +1,130 @@
+"""Recovery metrics derived from the packet ledger and fault timeline.
+
+The fault injector (:mod:`repro.faults.injector`) records one
+:class:`FaultWindow` per realized outage — when a node went down and
+when (if ever) it came back.  This module joins that timeline against
+the :class:`~repro.obs.ledger.PacketLedger`'s delivery record to answer
+the robustness questions the paper poses qualitatively in Section 8:
+
+* **restore latency** — after a fault at ``t``, how long until the
+  network delivers *any* datum again?  This measures service resumption
+  through self-healing (RERR repair, re-discovery, rejoin), not the
+  faulted node's own repair clock.
+* **MTTR** — the mean of the finite restore latencies.
+* **availability** — ``1 - node_downtime / (n_nodes * horizon)``, the
+  fraction of node-time the network had its full complement up.
+
+Everything here is pure ledger/timeline arithmetic: no simulator access,
+so reports can be computed (and re-computed) after a run, including from
+deserialized sweep results.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.ledger import DatumState, PacketLedger
+from repro.sim.serialize import serializable
+
+__all__ = ["FaultWindow", "RecoveryReport", "recovery_report"]
+
+
+@serializable
+@dataclass
+class FaultWindow:
+    """One realized outage: node ``node`` was down on ``[down_at, up_at)``.
+
+    ``up_at`` is ``None`` while the outage is open — either the plan never
+    recovers the node, or recovery was attempted on a battery-dead node
+    (permanent).  ``cause`` records what opened the window (``"crash"``,
+    ``"region"``, ``"churn"``, ``"battery"``).
+    """
+
+    node: int
+    down_at: float
+    up_at: Optional[float] = None
+    cause: str = "crash"
+
+    def downtime(self, horizon: float) -> float:
+        """Seconds of downtime within ``[0, horizon]`` (open windows run on)."""
+        end = self.up_at if self.up_at is not None else horizon
+        return max(0.0, min(end, horizon) - min(self.down_at, horizon))
+
+
+@serializable
+@dataclass
+class RecoveryReport:
+    """MTTR / availability / downtime summary for one run."""
+
+    horizon: float
+    n_nodes: int
+    n_faults: int
+    n_recovered: int
+    total_downtime: float
+    availability: float
+    #: Per fault window, seconds from outage onset to the next delivered
+    #: datum anywhere in the network; ``None`` when nothing was ever
+    #: delivered after the fault (service never resumed).
+    restore_latencies: list = field(default_factory=list)
+    mttr: Optional[float] = None
+    unrestored: int = 0
+
+    def format_table(self) -> str:
+        lines = [
+            "Recovery report",
+            "  horizon          %10.3f s" % self.horizon,
+            "  nodes            %10d" % self.n_nodes,
+            "  fault windows    %10d  (%d recovered, %d unrestored)"
+            % (self.n_faults, self.n_recovered, self.unrestored),
+            "  total downtime   %10.3f node-s" % self.total_downtime,
+            "  availability     %10.4f" % self.availability,
+        ]
+        if self.mttr is not None:
+            lines.append("  MTTR             %10.3f s" % self.mttr)
+        else:
+            lines.append("  MTTR                    n/a  (no faults or no deliveries)")
+        return "\n".join(lines)
+
+
+def recovery_report(
+    ledger: Optional[PacketLedger],
+    windows: list,
+    horizon: float,
+    n_nodes: int,
+) -> RecoveryReport:
+    """Join the fault timeline against the delivery record.
+
+    ``ledger`` may be ``None`` (audit off): downtime/availability still
+    compute, restore latencies come back empty and MTTR ``None``.
+    """
+    deliveries: list[float] = []
+    if ledger is not None:
+        deliveries = sorted(
+            e.terminal_at
+            for e in ledger.entries.values()
+            if e.state is DatumState.DELIVERED and e.terminal_at is not None
+        )
+    latencies: list[Optional[float]] = []
+    for w in windows:
+        if not deliveries:
+            latencies.append(None)
+            continue
+        i = bisect_left(deliveries, w.down_at)
+        latencies.append(deliveries[i] - w.down_at if i < len(deliveries) else None)
+    finite = [lat for lat in latencies if lat is not None]
+    total_downtime = sum(w.downtime(horizon) for w in windows)
+    denom = n_nodes * horizon
+    availability = 1.0 - total_downtime / denom if denom > 0 else 1.0
+    return RecoveryReport(
+        horizon=float(horizon),
+        n_nodes=int(n_nodes),
+        n_faults=len(windows),
+        n_recovered=sum(1 for w in windows if w.up_at is not None),
+        total_downtime=float(total_downtime),
+        availability=float(availability),
+        restore_latencies=latencies,
+        mttr=float(sum(finite) / len(finite)) if finite else None,
+        unrestored=len(latencies) - len(finite),
+    )

@@ -168,6 +168,21 @@ class Network:
         d = self.positions[i] - self.positions[j]
         return float(math.hypot(d[0], d[1]))
 
+    def nodes_in_region(self, center: Sequence[float], radius: float) -> list[int]:
+        """Ids of all nodes within ``radius`` meters of ``center``.
+
+        One vectorised distance pass over the position array — used by
+        region-outage fault events, which must resolve their victim set
+        at outage time (gateways may have moved since the plan was
+        written).
+        """
+        if radius < 0:
+            raise ConfigurationError("radius must be non-negative")
+        c = np.asarray(center, dtype=float)
+        diff = self.positions - c
+        within = np.hypot(diff[:, 0], diff[:, 1]) <= radius
+        return [int(i) for i in np.nonzero(within)[0]]
+
     def distances_from(self, i: int, ids: np.ndarray) -> np.ndarray:
         """Distances from node ``i`` to every node in ``ids``, vectorised.
 

@@ -76,9 +76,14 @@ class Node:
     failed: bool = False
     sleeping: bool = False
 
-    # Class-level default: no listener until the network binds one, so the
+    # Class-level defaults: no listener until the network binds one, so the
     # dataclass __init__ and listener-free nodes stay on the fast path.
     _alive_listener: Optional[Callable[[int, bool], None]] = None
+    #: last liveness value the listener saw — the edge detector that
+    #: guarantees exactly one notification per actual alive flip, no
+    #: matter which path (fail/sleep/recover/battery death/energy swap)
+    #: triggered the check.
+    _last_alive: bool = True
 
     def bind_alive_listener(self, listener: Callable[[int, bool], None]) -> None:
         """Register ``listener(node_id, alive)``, fired on liveness flips.
@@ -87,28 +92,32 @@ class Node:
         NumPy alive mask incrementally.  Every way a node's ``alive`` can
         change is covered: ``failed``/``sleeping`` assignments are caught
         by :meth:`__setattr__`, battery exhaustion by the energy account's
-        ``on_death`` hook (re-bound if ``energy`` is swapped out).
+        ``on_death`` hook (re-bound if ``energy`` is swapped out).  The
+        listener fires exactly once per actual flip: a battery dying on a
+        node that is already failed or sleeping changes nothing and stays
+        silent.
         """
         object.__setattr__(self, "_alive_listener", listener)
+        object.__setattr__(self, "_last_alive", self.alive)
         self.energy.on_death = self._notify_alive
 
     def _notify_alive(self) -> None:
-        if self._alive_listener is not None:
-            self._alive_listener(self.node_id, self.alive)
+        if self._alive_listener is None:
+            return
+        now = self.alive
+        if now != self._last_alive:
+            object.__setattr__(self, "_last_alive", now)
+            self._alive_listener(self.node_id, now)
 
     def __setattr__(self, name: str, value) -> None:
         listener = self.__dict__.get("_alive_listener")
         if listener is None:
             object.__setattr__(self, name, value)
             return
-        if name in ("failed", "sleeping"):
-            before = self.alive
-            object.__setattr__(self, name, value)
-            if self.alive != before:
-                listener(self.node_id, self.alive)
-            return
         object.__setattr__(self, name, value)
-        if name == "energy":
+        if name in ("failed", "sleeping"):
+            self._notify_alive()
+        elif name == "energy":
             value.on_death = self._notify_alive
             self._notify_alive()
 
@@ -131,6 +140,16 @@ class Node:
         """Inject a hardware failure (robustness experiments, E9)."""
         self.failed = True
 
-    def recover(self) -> None:
-        """Clear an injected failure."""
+    def recover(self) -> bool:
+        """Clear an injected failure.
+
+        Returns whether the node is actually alive afterwards.  A node
+        whose battery died while (or before) it was failed stays dead:
+        the cleared flag never signals an alive transition, because
+        :meth:`__setattr__` only notifies when :attr:`alive` really
+        flips — battery exhaustion is permanent, hardware faults are
+        not.  Callers that rejoin the node to a protocol (the fault
+        injector) must check the return value before re-announcing.
+        """
         self.failed = False
+        return self.alive

@@ -23,11 +23,49 @@ from repro.sim.energy import EnergyModel
 from repro.sim.engine import Simulator
 from repro.sim.mac import MediumState
 from repro.sim.packet import Packet
+from repro.sim.serialize import serializable
 from repro.sim.trace import MetricsCollector
 
-__all__ = ["RadioConfig", "IEEE802154", "IEEE80211", "Channel"]
+__all__ = ["GilbertElliott", "RadioConfig", "IEEE802154", "IEEE80211", "Channel"]
 
 _SPEED_OF_LIGHT = 3.0e8
+
+
+@serializable
+@dataclass(frozen=True)
+class GilbertElliott:
+    """Two-state bursty link-loss model (Gilbert–Elliott).
+
+    Each directed link ``(sender, receiver)`` carries an independent
+    two-state Markov chain.  Per frame the chain advances one step —
+    Good→Bad with probability ``p_gb``, Bad→Good with ``p_bg`` — and the
+    frame is then lost with the state's loss probability (``loss_good``
+    on a good link, ``loss_bad`` inside a burst).  Mean burst length is
+    ``1 / p_bg`` frames; stationary bad-state probability is
+    ``p_gb / (p_gb + p_bg)``.
+
+    The chain consumes exactly two RNG draws per intended receiver —
+    one transition, one loss — regardless of parameter values, so the
+    scalar and vectorized fan-out paths stay stream-identical.
+    """
+
+    p_gb: float
+    p_bg: float
+    loss_good: float = 0.0
+    loss_bad: float = 1.0
+    start_bad: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("p_gb", "p_bg", "loss_good", "loss_bad"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {v!r}")
+
+    @property
+    def stationary_bad(self) -> float:
+        """Long-run fraction of frames finding the link in the bad state."""
+        denom = self.p_gb + self.p_bg
+        return 0.0 if denom == 0.0 else self.p_gb / denom
 
 
 @dataclass(frozen=True)
@@ -45,6 +83,10 @@ class RadioConfig:
     """Link-layer retransmissions for unicast frames whose reception fails
     (collision or loss) — 802.15.4/802.11 both ACK unicast and retry.
     Broadcast frames are never acknowledged, hence never retried."""
+    burst: Optional[GilbertElliott] = None
+    """Bursty per-link loss (Gilbert–Elliott).  When set it *replaces*
+    the i.i.d. ``loss_rate`` draw: per-state loss probabilities come from
+    the model and ``loss_rate`` is ignored."""
 
     def __post_init__(self) -> None:
         if self.bitrate <= 0 or self.comm_range <= 0:
@@ -60,7 +102,7 @@ class RadioConfig:
         """A lossless, collision-free copy (worked-example experiments)."""
         return replace(
             self, loss_rate=0.0, collisions=False, csma=False,
-            backoff_window=0.0, arq_retries=0,
+            backoff_window=0.0, arq_retries=0, burst=None,
         )
 
 
@@ -116,6 +158,44 @@ class Channel:
         # With carrier sensing and collision detection both off, nothing
         # ever reads the medium bookkeeping — skip it on the hot path.
         self._medium_observed = config.csma or config.collisions
+        # Gilbert–Elliott chain state per directed link: True = bad
+        # (inside a burst).  Links start in the model's ``start_bad``
+        # state on first use; state survives config swaps so a
+        # link-degrade window resuming the same model continues its
+        # bursts instead of resetting every chain.
+        self._link_bad: dict[tuple[int, int], bool] = {}
+
+    def _jitter(self) -> float:
+        """One uniform backoff draw, or exactly zero without burning a
+        draw when the window is zero (``RadioConfig.ideal()``)."""
+        window = self.config.backoff_window
+        if window <= 0.0:
+            return 0.0
+        return self.sim.rng.uniform(0.0, window)
+
+    def _burst_losses(self, sender: int, receivers) -> list[bool]:
+        """Advance the per-link burst chains one step and draw losses.
+
+        ``receivers`` are the intended receivers in neighbor order.  The
+        draws are taken as one ``(k, 2)`` batch — transition then loss
+        per receiver — which consumes the RNG stream in exactly the
+        order a scalar two-draws-per-receiver loop would, so both
+        fan-out paths share this helper and stay bit-identical.
+        """
+        ge = self.config.burst
+        k = len(receivers)
+        if k == 0:
+            return []
+        draws = self.sim.rng.random((k, 2))
+        states = self._link_bad
+        lost: list[bool] = []
+        for i, nb in enumerate(receivers):
+            key = (sender, int(nb))
+            bad = states.get(key, ge.start_bad)
+            bad = (draws[i, 0] < ge.p_gb) if not bad else not (draws[i, 0] < ge.p_bg)
+            states[key] = bad
+            lost.append(bool(draws[i, 1] < (ge.loss_bad if bad else ge.loss_good)))
+        return lost
 
     # ------------------------------------------------------------------
     def send(self, sender: int, packet: Packet) -> bool:
@@ -139,10 +219,7 @@ class Channel:
                 self.medium.prune(self.sim.now)
                 self._sends_since_prune = 0
 
-        if self.config.csma:
-            jitter = self.sim.rng.uniform(0.0, self.config.backoff_window or 1e-9)
-        else:
-            jitter = 0.0
+        jitter = self._jitter() if self.config.csma else 0.0
         self.sim.schedule(jitter, self._begin_tx, sender, packet)
         return True
 
@@ -161,7 +238,7 @@ class Channel:
             hearers = set(int(x) for x in self.network.neighbors(sender))
             free = self.medium.earliest_free(hearers, sender, self.sim.now)
             if free > self.sim.now:
-                backoff = self.sim.rng.uniform(0.0, self.config.backoff_window or 1e-9)
+                backoff = self._jitter()
                 self.sim.schedule(
                     free - self.sim.now + backoff, self._begin_tx, sender, packet, attempt
                 )
@@ -196,13 +273,31 @@ class Channel:
         """The pre-refactor per-neighbor Python loop (reference path)."""
         rng = self.sim.rng
         found_dst = packet.dst is None
+        burst_lost = None
+        if self.config.burst is not None:
+            # Pre-draw the burst chain for the intended receivers (in
+            # neighbor order — the exact sequence this loop visits them);
+            # nothing else consumes the RNG inside the loop, so the
+            # stream is identical to interleaved per-receiver draws.
+            intended_ids = [
+                int(nb) for nb in neighbors if packet.dst is None or packet.dst == nb
+            ]
+            burst_lost = iter(self._burst_losses(sender, intended_ids))
         for nb in neighbors:
             intended = packet.dst is None or packet.dst == nb
             if intended:
                 found_dst = True
             prop = self.network.distance(sender, nb) / _SPEED_OF_LIGHT
             arrive = end + prop
-            if intended and self.config.loss_rate > 0.0 and rng.random() < self.config.loss_rate:
+            if burst_lost is not None:
+                lost = intended and next(burst_lost)
+            else:
+                lost = (
+                    intended
+                    and self.config.loss_rate > 0.0
+                    and rng.random() < self.config.loss_rate
+                )
+            if lost:
                 self.metrics.on_drop("loss")
                 if self._medium_observed:
                     # The frame is lost to the receiver, not to physics:
@@ -252,7 +347,15 @@ class Channel:
 
         loss_rate = self.config.loss_rate
         lost_l = None
-        if loss_rate > 0.0:
+        if self.config.burst is not None:
+            if dst is None:
+                lost_l = self._burst_losses(sender, nb_l)
+            else:
+                intended_ids = [nb for nb in nb_l if nb == dst]
+                if intended_ids:
+                    flags = iter(self._burst_losses(sender, intended_ids))
+                    lost_l = [nb == dst and next(flags) for nb in nb_l]
+        elif loss_rate > 0.0:
             if dst is None:
                 lost_l = (self.sim.rng.random(n) < loss_rate).tolist()
             else:
@@ -314,8 +417,7 @@ class Channel:
             # retry: the frame vanished silently before this fix.
             self.metrics.on_terminal_drop("dead_node", packet, node=sender, now=self.sim.now)
             return
-        backoff = self.sim.rng.uniform(0.0, self.config.backoff_window or 1e-9)
-        self.sim.schedule(backoff, self._begin_tx, sender, packet, attempt + 1)
+        self.sim.schedule(self._jitter(), self._begin_tx, sender, packet, attempt + 1)
 
     # ------------------------------------------------------------------
     def _deliver(self, receiver: int, rec, sender: int, attempt: int) -> None:

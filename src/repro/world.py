@@ -152,6 +152,8 @@ class World:
     channel: Channel
     places: Optional[FeasiblePlaces] = None
     protocol: Any = None
+    #: armed :class:`~repro.faults.injector.FaultInjector` (None without a plan)
+    faults: Any = None
     extras: dict = field(default_factory=dict)
 
     @property
@@ -231,6 +233,7 @@ class WorldBuilder:
         self._vectorized: bool = True
         self._spatial_index: str = "grid"
         self._node_spec: Optional[tuple[np.ndarray, Sequence[NodeKind], Optional[float]]] = None
+        self._fault_plan: Any = None
 
     # -- engine ---------------------------------------------------------
     def seed(self, protocol_seed: int | None) -> "WorldBuilder":
@@ -357,6 +360,20 @@ class WorldBuilder:
         self._places = places
         return self
 
+    def faults(self, plan) -> "WorldBuilder":
+        """Arm a :class:`~repro.faults.plan.FaultPlan` on the built world.
+
+        Accepts a plan object or its jsonable/params form (``None`` clears).
+        :meth:`build` compiles the plan onto the simulator event queue via
+        a :class:`~repro.faults.injector.FaultInjector` before any traffic
+        is scheduled, so fault timing is part of the deterministic event
+        order; the armed injector is exposed as ``World.faults``.
+        """
+        from repro.faults.plan import FaultPlan  # deferred: faults builds worlds
+
+        self._fault_plan = FaultPlan.from_param(plan) if plan is not None else None
+        return self
+
     # -- build ----------------------------------------------------------
     def _resolve_network(self) -> Network:
         given = [
@@ -422,4 +439,9 @@ class WorldBuilder:
         )
         for recorder in _recorders:
             recorder.track(sim, metrics)
-        return World(sim=sim, network=network, channel=channel, places=self._places)
+        world = World(sim=sim, network=network, channel=channel, places=self._places)
+        if self._fault_plan is not None:
+            from repro.faults.injector import FaultInjector  # deferred: cycle guard
+
+            world.faults = FaultInjector(world, self._fault_plan).arm()
+        return world
