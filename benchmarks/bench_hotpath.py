@@ -1,22 +1,28 @@
-"""Hot-path microbenchmark: vectorized vs scalar radio fan-out.
+"""Hot-path microbenchmark: scalar vs vectorized vs struct-of-arrays.
 
 Broadcast floods dominate E4/E8/E9 sweeps, and each flood frame fans out
-to every neighbor of the sender — the per-neighbor loop in
-``Channel._begin_tx`` is where simulation time goes.  This benchmark
-floods a dense uniform field through both fan-out implementations (the
-NumPy-batched default and the pre-refactor scalar reference loop, kept
-as ``Channel(vectorized=False)``) and reports events/sec and fan-out
-(frame receptions)/sec for each, plus the speedup.
+to every neighbor of the sender — reception delivery is where simulation
+time goes.  This benchmark floods a dense uniform field through the
+three execution strategies kept by :class:`~repro.world.WorldConfig`:
 
-Run standalone for JSON output::
+* ``object-scalar`` — per-object node state, pre-refactor scalar
+  fan-out reference loop (``vectorized=False``);
+* ``object-vec`` — per-object node state, NumPy-batched fan-out math
+  (PR 2's path, ``soa=False``);
+* ``soa`` — the :class:`~repro.sim.state.NodeStateStore` columns plus
+  batched delivery draining (the default).
 
-    PYTHONPATH=src python benchmarks/bench_hotpath.py --nodes 500 --json -
+All three are draw-order stable, so their simulations are bit-identical;
+the benchmark asserts that digest (same event count, same frame counts,
+same reception totals) before reporting timings, making it a correctness
+gate as well as a timer.  Run standalone for JSON output::
 
-The CI smoke job runs a small config with ``--min-speedup`` so a
-regression that makes the vectorized path slower than the reference loop
-fails loudly.  Both paths are draw-order stable, so their simulations
-are bit-identical — the benchmark asserts that too (same event count,
-same frame counts), making it a correctness check as well as a timer.
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --nodes 500 \
+        --json BENCH_hotpath.json
+
+The CI smoke job runs a small config with ``--min-speedup`` (vectorized
+vs scalar) and ``--min-soa-speedup`` (SoA vs scalar) so a regression
+that loses the batched paths' advantage fails loudly.
 """
 
 from __future__ import annotations
@@ -29,12 +35,22 @@ import time
 
 from repro.core.base import ProtocolConfig
 from repro.core.spr import SPR
-from repro.world import WorldBuilder
+from repro.world import WorldBuilder, WorldConfig
 
 #: target mean node degree of the benchmark field — dense enough that
 #: fan-out dominates, sparse enough that floods terminate quickly.
 _TARGET_DEGREE = 20.0
 _COMM_RANGE = 40.0
+
+#: label -> execution configuration of each benchmark leg.
+LEGS = {
+    "object-scalar": WorldConfig(vectorized=False, soa=False),
+    "object-vec": WorldConfig(soa=False),
+    "soa": WorldConfig(),
+}
+
+#: counters every leg must agree on (the bit-identity digest).
+_DIGEST_KEYS = ("events_processed", "frames_sent", "receptions")
 
 
 def _field_size(n_nodes: int) -> float:
@@ -42,20 +58,19 @@ def _field_size(n_nodes: int) -> float:
     return math.sqrt(n_nodes * math.pi * _COMM_RANGE**2 / _TARGET_DEGREE)
 
 
-def run_flood(n_nodes: int, floods: int, vectorized: bool, seed: int = 0) -> dict:
+def run_flood(n_nodes: int, floods: int, config: WorldConfig, seed: int = 0) -> dict:
     """Flood the field ``floods`` times and time the simulation run."""
     field = _field_size(n_nodes)
-    builder = (
+    world = (
         WorldBuilder()
         .seed(seed)
         .uniform_sensors(n_nodes, field_size=field, topology_seed=seed)
         .gateways([[field / 2.0, field / 2.0]])
         .comm_range(_COMM_RANGE)
         .ideal_radio()
+        .configure(config)
+        .build()
     )
-    if not vectorized:
-        builder.scalar_fanout()
-    world = builder.build()
     # Table answering off: every discovery floods the whole field instead
     # of being answered one hop out, which is the fan-out stress we want.
     spr = world.attach(SPR, ProtocolConfig(table_answering=False))
@@ -70,7 +85,6 @@ def run_flood(n_nodes: int, floods: int, vectorized: bool, seed: int = 0) -> dic
     m = world.metrics
     receptions = int(sum(m.received.values()))
     return {
-        "vectorized": vectorized,
         "nodes": n_nodes,
         "floods": floods,
         "wall_clock_s": wall,
@@ -82,22 +96,32 @@ def run_flood(n_nodes: int, floods: int, vectorized: bool, seed: int = 0) -> dic
     }
 
 
-def run_benchmark(n_nodes: int, floods: int, seed: int = 0) -> dict:
-    scalar = run_flood(n_nodes, floods, vectorized=False, seed=seed)
-    vectorized = run_flood(n_nodes, floods, vectorized=True, seed=seed)
-    # Draw-order stability: both paths must have simulated the same thing.
-    for key in ("events_processed", "frames_sent", "receptions"):
-        if scalar[key] != vectorized[key]:
-            raise AssertionError(
-                f"fan-out paths diverged on {key}: "
-                f"scalar={scalar[key]} vectorized={vectorized[key]}"
-            )
+def run_benchmark(n_nodes: int, floods: int, seed: int = 0, repeat: int = 1) -> dict:
+    """Time every leg (best of ``repeat``) and gate on the shared digest."""
+    results: dict[str, dict] = {}
+    for label, config in LEGS.items():
+        runs = [run_flood(n_nodes, floods, config, seed=seed) for _ in range(repeat)]
+        results[label] = min(runs, key=lambda r: r["wall_clock_s"])
+
+    # Bit-identity digest: every execution path simulated the same thing.
+    reference = results["object-scalar"]
+    for label, result in results.items():
+        for key in _DIGEST_KEYS:
+            if result[key] != reference[key]:
+                raise AssertionError(
+                    f"execution paths diverged on {key}: "
+                    f"object-scalar={reference[key]} {label}={result[key]}"
+                )
+
+    scalar_wall = reference["wall_clock_s"]
     return {
         "config": {"nodes": n_nodes, "floods": floods, "seed": seed,
-                   "comm_range": _COMM_RANGE, "field_size": _field_size(n_nodes)},
-        "scalar": scalar,
-        "vectorized": vectorized,
-        "speedup": scalar["wall_clock_s"] / vectorized["wall_clock_s"],
+                   "repeat": repeat, "comm_range": _COMM_RANGE,
+                   "field_size": _field_size(n_nodes)},
+        "legs": results,
+        "digest": {key: reference[key] for key in _DIGEST_KEYS},
+        "speedup": scalar_wall / results["object-vec"]["wall_clock_s"],
+        "soa_speedup": scalar_wall / results["soa"]["wall_clock_s"],
     }
 
 
@@ -106,13 +130,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--nodes", type=int, default=500)
     parser.add_argument("--floods", type=int, default=10)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="run each leg this many times, keep the fastest")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="write the JSON report here ('-' for stdout)")
     parser.add_argument("--min-speedup", type=float, default=None,
-                        help="exit non-zero when speedup falls below this")
+                        help="exit non-zero when the object-vec vs "
+                             "object-scalar speedup falls below this")
+    parser.add_argument("--min-soa-speedup", type=float, default=None,
+                        help="exit non-zero when the soa vs object-scalar "
+                             "speedup falls below this")
     args = parser.parse_args(argv)
 
-    report = run_benchmark(args.nodes, args.floods, seed=args.seed)
+    report = run_benchmark(args.nodes, args.floods, seed=args.seed,
+                           repeat=args.repeat)
     blob = json.dumps(report, indent=2)
     if args.json == "-":
         print(blob)
@@ -120,20 +151,26 @@ def main(argv: list[str] | None = None) -> int:
         if args.json:
             with open(args.json, "w") as fh:
                 fh.write(blob + "\n")
-        s, v = report["scalar"], report["vectorized"]
         print(f"nodes={args.nodes} floods={args.floods} "
-              f"events={v['events_processed']}")
-        print(f"scalar:     {s['wall_clock_s']:.3f}s  "
-              f"{s['events_per_sec']:,.0f} ev/s  {s['fanout_per_sec']:,.0f} rx/s")
-        print(f"vectorized: {v['wall_clock_s']:.3f}s  "
-              f"{v['events_per_sec']:,.0f} ev/s  {v['fanout_per_sec']:,.0f} rx/s")
-        print(f"speedup:    {report['speedup']:.2f}x")
+              f"events={report['digest']['events_processed']}")
+        for label, r in report["legs"].items():
+            print(f"{label + ':':14s} {r['wall_clock_s']:.3f}s  "
+                  f"{r['events_per_sec']:,.0f} ev/s  "
+                  f"{r['fanout_per_sec']:,.0f} rx/s")
+        print(f"speedup:       vec {report['speedup']:.2f}x   "
+              f"soa {report['soa_speedup']:.2f}x")
 
+    status = 0
     if args.min_speedup is not None and report["speedup"] < args.min_speedup:
-        print(f"FAIL: speedup {report['speedup']:.2f}x < required "
+        print(f"FAIL: object-vec speedup {report['speedup']:.2f}x < required "
               f"{args.min_speedup:.2f}x", file=sys.stderr)
-        return 1
-    return 0
+        status = 1
+    if (args.min_soa_speedup is not None
+            and report["soa_speedup"] < args.min_soa_speedup):
+        print(f"FAIL: soa speedup {report['soa_speedup']:.2f}x < required "
+              f"{args.min_soa_speedup:.2f}x", file=sys.stderr)
+        status = 1
+    return status
 
 
 if __name__ == "__main__":

@@ -32,6 +32,7 @@ in :mod:`repro.core.policy`.
 
 from __future__ import annotations
 
+import functools
 import itertools
 from typing import Any, Hashable, Optional
 
@@ -71,6 +72,14 @@ class DiscoveryProtocol(ProtocolPolicy, FloodDiscoveryEngine, DataPlaneForwarder
         self.tables: dict[int, RoutingTable] = {
             n.node_id: RoutingTable(n.node_id) for n in network.nodes
         }
+        #: the network's struct-of-arrays core, when it has one — route
+        #: and queue-depth columns mirror protocol state through it
+        self._store = getattr(network, "store", None)
+        if self._store is not None:
+            for node_id, table in self.tables.items():
+                table.on_change = functools.partial(
+                    self._sync_route_column, node_id, table
+                )
         self._seen_floods: dict[int, set[tuple[int, int]]] = {n.node_id: set() for n in network.nodes}
         self._pending_data: dict[int, list[dict[str, Any]]] = {}
         self._discovery: dict[int, _DiscoveryState] = {}
@@ -99,13 +108,34 @@ class DiscoveryProtocol(ProtocolPolicy, FloodDiscoveryEngine, DataPlaneForwarder
         return self.tables[node_id]
 
     # ------------------------------------------------------------------
+    # struct-of-arrays mirrors
+    # ------------------------------------------------------------------
+    def _sync_route_column(self, node_id: int, table: RoutingTable) -> None:
+        """Mirror ``table.best().next_hop`` into the store route columns."""
+        best = table.best()
+        self._store.note_route(node_id, None if best is None else best.next_hop)
+
+    def _queue_pending(self, node_id: int, payload: dict) -> None:
+        """Park a datum awaiting a route, mirroring the queue-depth column."""
+        self._pending_data.setdefault(node_id, []).append(payload)
+        if self._store is not None:
+            self._store.note_queued(node_id, 1)
+
+    def _take_pending(self, node_id: int) -> list:
+        """Drain and return ``node_id``'s parked data (possibly empty)."""
+        pending = self._pending_data.pop(node_id, [])
+        if pending and self._store is not None:
+            self._store.note_queued(node_id, -len(pending))
+        return pending
+
+    # ------------------------------------------------------------------
     # packet dispatch
     # ------------------------------------------------------------------
     def _make_handler(self, node_id: int):
-        def handler(pkt: Packet) -> None:
-            self._on_packet(node_id, pkt)
-
-        return handler
+        # functools.partial instead of a closure: the bound call skips a
+        # Python frame, and this runs once per reception — the single
+        # hottest callback in the simulator.
+        return functools.partial(self._on_packet, node_id)
 
     def _on_packet(self, node_id: int, pkt: Packet) -> None:
         behavior = self.behaviors.get(node_id)

@@ -76,7 +76,7 @@ class DataPlaneForwarder:
         if entry is not None:
             self._transmit_data(source, entry, payload)
             return
-        self._pending_data.setdefault(source, []).append(payload)
+        self._queue_pending(source, payload)
         self.metrics.on_data_queued(source, payload["data_id"])
         if source not in self._discovery:
             self._start_discovery(source)

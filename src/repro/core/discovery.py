@@ -88,7 +88,7 @@ class FloodDiscoveryEngine:
         best = min(state.responses, key=lambda e: (e.hops, e.gateway))
         self.tables[source].install(best, replace_worse_only=True)
         del self._discovery[source]
-        for payload in self._pending_data.pop(source, []):
+        for payload in self._take_pending(source):
             self._dispatch_or_queue(source, payload)
 
     def _schedule_retry(self, source: int, attempts: int) -> None:
@@ -111,7 +111,7 @@ class FloodDiscoveryEngine:
         if not self.network.nodes[source].alive:
             # A dead source can never finish discovery: drain its queued
             # data to a terminal state instead of stranding it forever.
-            for payload in self._pending_data.pop(source, []):
+            for payload in self._take_pending(source):
                 self.metrics.on_terminal_drop(
                     "dead_source",
                     key=(source, payload["data_id"]),
@@ -122,7 +122,7 @@ class FloodDiscoveryEngine:
         self._start_discovery(source, attempts=attempts + 1)
 
     def _fail_discovery(self, source: int) -> None:
-        for payload in self._pending_data.pop(source, []):
+        for payload in self._take_pending(source):
             self.metrics.on_terminal_drop(
                 "no_route", key=(source, payload["data_id"]), node=source, now=self.sim.now
             )

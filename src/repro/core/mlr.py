@@ -218,12 +218,12 @@ class MLR(DiscoveryProtocol):
             if place not in self.tables[source]:
                 self._unreachable[source].add(str(place))
         del self._discovery[source]
-        for payload in self._pending_data.pop(source, []):
+        for payload in self._take_pending(source):
             self._dispatch_or_queue(source, payload)
 
     def _flush_via_existing(self, source: int) -> None:
         """Drain queued data through already-known routes (or drop)."""
-        pending = self._pending_data.pop(source, [])
+        pending = self._take_pending(source)
         entry = self.tables[source].best(self.active_keys(source))
         for payload in pending:
             if entry is None:
@@ -242,12 +242,12 @@ class MLR(DiscoveryProtocol):
     def _dispatch_or_queue(self, source: int, payload) -> None:
         missing = self.discovery_targets(source)
         if missing and source not in self._discovery:
-            self._pending_data.setdefault(source, []).append(payload)
+            self._queue_pending(source, payload)
             self.metrics.on_data_queued(source, payload["data_id"])
             self._start_discovery(source)
             return
         if source in self._discovery:
-            self._pending_data.setdefault(source, []).append(payload)
+            self._queue_pending(source, payload)
             self.metrics.on_data_queued(source, payload["data_id"])
             return
         entry = self.tables[source].best(self.active_keys(source))

@@ -149,12 +149,12 @@ class LoadBalancedMLR(MLR):
     def _dispatch_or_queue(self, source: int, payload) -> None:
         missing = self.discovery_targets(source)
         if missing and source not in self._discovery:
-            self._pending_data.setdefault(source, []).append(payload)
+            self._queue_pending(source, payload)
             self.metrics.on_data_queued(source, payload["data_id"])
             self._start_discovery(source)
             return
         if source in self._discovery:
-            self._pending_data.setdefault(source, []).append(payload)
+            self._queue_pending(source, payload)
             self.metrics.on_data_queued(source, payload["data_id"])
             return
         entry = self._best_entry(source)
@@ -166,7 +166,7 @@ class LoadBalancedMLR(MLR):
         )
 
     def _flush_via_existing(self, source: int) -> None:
-        pending = self._pending_data.pop(source, [])
+        pending = self._take_pending(source)
         entry = self._best_entry(source)
         for payload in pending:
             if entry is None:

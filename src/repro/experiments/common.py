@@ -10,6 +10,7 @@ gateways.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
@@ -19,12 +20,13 @@ from repro.sim.energy import EnergyModel
 from repro.sim.mobility import FeasiblePlaces
 from repro.sim.radio import IEEE802154, RadioConfig
 from repro.sim.serialize import serializable
-from repro.world import World, WorldBuilder
+from repro.world import World, WorldBuilder, WorldConfig
 
 __all__ = [
     "Scenario",
     "ScenarioResult",
     "default_energy_model",
+    "resolve_world_config",
     "make_uniform_scenario",
     "make_grid_scenario",
     "corner_places",
@@ -105,6 +107,40 @@ def corner_places(field_size: float, inset: float = 0.15) -> FeasiblePlaces:
     )
 
 
+def resolve_world_config(
+    world: "WorldConfig | dict | None",
+    spatial_index: Optional[str],
+    audit: Optional[bool],
+    fault_plan,
+) -> WorldConfig:
+    """Fold legacy execution kwargs into one :class:`WorldConfig`.
+
+    ``spatial_index``/``audit``/``fault_plan`` predate the consolidated
+    ``world`` parameter; passing them still works but warns, and mixing
+    them with an explicit ``world`` applies them on top of it (loud and
+    unambiguous beats silently ignoring either side).
+    """
+    cfg = WorldConfig.from_param(world) or WorldConfig()
+    legacy = {
+        k: v
+        for k, v in (
+            ("spatial_index", spatial_index),
+            ("audit", audit),
+            ("faults", fault_plan),
+        )
+        if v is not None
+    }
+    if legacy:
+        warnings.warn(
+            f"passing {sorted(legacy)} as bare scenario kwargs is deprecated; "
+            f"pass world=WorldConfig({', '.join(sorted(legacy))}=...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        cfg = cfg.replace(**legacy)
+    return cfg
+
+
 def make_uniform_scenario(
     n_sensors: int,
     field_size: float,
@@ -116,17 +152,21 @@ def make_uniform_scenario(
     radio: Optional[RadioConfig] = None,
     energy_model: Optional[EnergyModel] = None,
     require_connected: bool = True,
-    spatial_index: str = "grid",
+    world: "WorldConfig | dict | None" = None,
+    spatial_index: Optional[str] = None,
     audit: Optional[bool] = None,
     fault_plan=None,
 ) -> Scenario:
     """Uniform random deployment with explicit gateway positions.
 
-    ``audit=True`` attaches the packet-conservation ledger (see
-    :mod:`repro.obs`); ``None`` defers to the ``REPRO_AUDIT`` default.
-    ``fault_plan`` arms a :class:`~repro.faults.plan.FaultPlan` on the
-    built world (exposed as ``scenario.faults``).
+    ``world`` carries the execution configuration — audit ledger,
+    spatial index, SoA/vectorized paths, fault plan — as one
+    :class:`~repro.world.WorldConfig` value (or its jsonable form, as it
+    arrives from swept :class:`~repro.runner.spec.ExperimentSpec`
+    params).  The trailing ``spatial_index``/``audit``/``fault_plan``
+    kwargs are the deprecated pre-``WorldConfig`` spelling.
     """
+    cfg = resolve_world_config(world, spatial_index, audit, fault_plan)
     builder = (
         WorldBuilder()
         .seed(protocol_seed)
@@ -136,14 +176,10 @@ def make_uniform_scenario(
         .sensor_battery(sensor_battery)
         .radio(radio or IEEE802154.ideal())
         .require_connected(require_connected)
-        .spatial_index(spatial_index)
+        .configure(cfg)
     )
-    if audit is not None:
-        builder.audit(audit)
     if energy_model is not None:
         builder.energy(energy_model)
-    if fault_plan is not None:
-        builder.faults(fault_plan)
     return builder.build()
 
 
@@ -157,10 +193,16 @@ def make_grid_scenario(
     protocol_seed: int = 2,
     radio: Optional[RadioConfig] = None,
     energy_model: Optional[EnergyModel] = None,
-    spatial_index: str = "grid",
+    world: "WorldConfig | dict | None" = None,
+    spatial_index: Optional[str] = None,
     audit: Optional[bool] = None,
 ) -> Scenario:
-    """Regular grid deployment (deterministic topologies for tests)."""
+    """Regular grid deployment (deterministic topologies for tests).
+
+    ``world`` is the consolidated execution configuration; the trailing
+    ``spatial_index``/``audit`` kwargs are its deprecated spelling.
+    """
+    cfg = resolve_world_config(world, spatial_index, audit, None)
     builder = (
         WorldBuilder()
         .seed(protocol_seed)
@@ -168,10 +210,8 @@ def make_grid_scenario(
         .gateways(gateway_positions)
         .sensor_battery(sensor_battery)
         .radio(radio or IEEE802154.ideal())
-        .spatial_index(spatial_index)
+        .configure(cfg)
     )
-    if audit is not None:
-        builder.audit(audit)
     if comm_range is not None:
         builder.comm_range(comm_range)
     if energy_model is not None:

@@ -15,7 +15,7 @@ variance (the D^2 objective of eq. 1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-
+from typing import Optional
 
 from repro.analysis.stats import energy_balance_index
 from repro.analysis.tables import format_table
@@ -30,6 +30,7 @@ from repro.experiments.common import (
     corner_places,
     default_energy_model,
     make_uniform_scenario,
+    resolve_world_config,
     run_collection_rounds,
 )
 from repro.sim.mobility import GatewaySchedule
@@ -89,7 +90,8 @@ def run_lifetime_comparison(
     packets_per_round: int = 4,
     seed: int = 1,
     protocols: tuple[str, ...] = LIFETIME_PROTOCOLS,
-    spatial_index: str = "grid",
+    world=None,
+    spatial_index: Optional[str] = None,
 ) -> LifetimeComparison:
     """Run every protocol on an identical deployment until first death.
 
@@ -99,6 +101,7 @@ def run_lifetime_comparison(
     large enough to reach steady state — with tiny budgets every protocol
     dies during its own setup phase and the comparison is meaningless.
     """
+    cfg = resolve_world_config(world, spatial_index, None, None)
     places = corner_places(field_size)
     center = [[field_size / 2, field_size / 2]]
     multi_gw = [list(places.position(p)) for p in places.labels[:gateways]]
@@ -117,7 +120,7 @@ def run_lifetime_comparison(
             topology_seed=seed,
             protocol_seed=seed + 7,
             energy_model=energy_model,
-            spatial_index=spatial_index,
+            world=cfg,
         )
         sim, net, ch = scenario.sim, scenario.network, scenario.channel
         if name == "MLR":

@@ -14,13 +14,18 @@ curve grows ~ sqrt(area)/sqrt(m) — the gap widens with size.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.analysis.tables import format_table
 from repro.baselines.flat import FlatSinkRouting
 from repro.core.spr import SPR
-from repro.experiments.common import make_uniform_scenario, run_collection_rounds
+from repro.experiments.common import (
+    make_uniform_scenario,
+    resolve_world_config,
+    run_collection_rounds,
+)
 from repro.sim.serialize import serializable
 
 __all__ = ["ScalabilityResult", "run_scalability"]
@@ -96,14 +101,18 @@ def run_scalability(
     comm_range: float = 55.0,
     rounds: int = 2,
     seed: int = 1,
-    spatial_index: str = "grid",
+    world=None,
+    spatial_index: Optional[str] = None,
 ) -> ScalabilityResult:
     """Sweep network size at constant density.
 
-    ``spatial_index`` selects the topology maintenance strategy — the
-    incremental grid index by default; ``"bruteforce"`` reruns the sweep
-    on the quadratic reference path (ablations, benchmarks).
+    ``world`` (a :class:`~repro.world.WorldConfig` or its jsonable form)
+    selects the execution configuration; ``world=WorldConfig(
+    spatial_index="bruteforce")`` reruns the sweep on the quadratic
+    reference path (ablations, benchmarks).  The bare ``spatial_index``
+    kwarg is the deprecated spelling of the same choice.
     """
+    cfg = resolve_world_config(world, spatial_index, None, None)
     rows = []
     for n in sizes:
         field = float(np.sqrt(n / density))
@@ -119,7 +128,7 @@ def run_scalability(
                 comm_range=comm_range,
                 topology_seed=seed,
                 protocol_seed=seed + 1,
-                spatial_index=spatial_index,
+                world=cfg,
             )
             protocol = cls(scenario.sim, scenario.network, scenario.channel)
             # Several packets per round amortise the one-time discovery

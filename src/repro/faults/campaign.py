@@ -39,6 +39,7 @@ from repro.faults.plan import (
 from repro.obs.recovery import RecoveryReport
 from repro.sim.radio import GilbertElliott
 from repro.sim.serialize import serializable
+from repro.world import WorldConfig
 
 __all__ = ["ChaosResult", "random_plan", "run_chaos"]
 
@@ -223,8 +224,7 @@ def run_chaos(
         sensor_battery=sensor_battery,
         topology_seed=seed,
         protocol_seed=seed + 17,
-        audit=True,
-        fault_plan=plan,
+        world=WorldConfig(audit=True, faults=plan),
     )
     sim, net, ch = scenario.sim, scenario.network, scenario.channel
     protocol = SPR(sim, net, ch)

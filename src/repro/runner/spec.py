@@ -11,13 +11,14 @@ any code-version bump invalidates old cache entries wholesale.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.exceptions import ConfigurationError
-from repro.sim.serialize import serializable
+from repro.sim.serialize import serializable, to_jsonable
 
 __all__ = ["ExperimentSpec", "SweepCell", "cache_key", "parse_seeds"]
 
@@ -40,6 +41,10 @@ def cache_key(
 
     Hashes the canonical JSON of the four identity components; dict key
     order and tuple-vs-list container choices do not affect the key.
+    Dataclass parameter values (a ``WorldConfig``, a ``FaultPlan``) are
+    hashed through their tagged :func:`~repro.sim.serialize.to_jsonable`
+    form, so the instance and its jsonable round-trip produce the same
+    key; tuple/list params keep their historical byte-identical encoding.
     """
     identity = {
         "experiment": experiment,
@@ -47,8 +52,16 @@ def cache_key(
         "seed": seed,
         "version": version if version is not None else _repro_version(),
     }
-    blob = json.dumps(identity, sort_keys=True, separators=(",", ":"), default=list)
+    blob = json.dumps(
+        identity, sort_keys=True, separators=(",", ":"), default=_encode_param
+    )
     return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _encode_param(obj):
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return to_jsonable(obj)
+    return list(obj)
 
 
 def parse_seeds(text: str) -> tuple[int, ...]:

@@ -9,7 +9,7 @@ The substrate replaces the physical 802.15.4 / 802.11 testbed the paper
 assumes (see ``DESIGN.md``, *Substitutions*).
 """
 
-from repro.sim.engine import Event, Simulator, events_processed_total
+from repro.sim.engine import Event, Simulator
 from repro.sim.serialize import (
     from_jsonable,
     serializable,
@@ -19,6 +19,7 @@ from repro.sim.energy import EnergyModel, EnergyAccount
 from repro.sim.packet import Packet, PacketKind, SecurityEnvelope
 from repro.sim.radio import RadioConfig, IEEE802154, IEEE80211, Channel
 from repro.sim.node import Node, NodeKind
+from repro.sim.state import EnergyView, NodeStateStore, NodeView
 from repro.sim.network import (
     Network,
     build_sensor_network,
@@ -31,7 +32,6 @@ from repro.sim.trace import MetricsCollector, DeliveryRecord
 __all__ = [
     "Event",
     "Simulator",
-    "events_processed_total",
     "serializable",
     "to_jsonable",
     "from_jsonable",
@@ -46,6 +46,9 @@ __all__ = [
     "Channel",
     "Node",
     "NodeKind",
+    "NodeStateStore",
+    "NodeView",
+    "EnergyView",
     "Network",
     "build_sensor_network",
     "uniform_deployment",

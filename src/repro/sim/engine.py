@@ -9,46 +9,37 @@ simulation reproducible from ``(topology seed, protocol seed)``.
 
 The engine is single-threaded on purpose.  Per the optimisation guidance in
 the HPC coding guides, the engine is kept simple and legible; the hot paths
-that matter (neighbor-set computation, flood fan-out) are vectorised in
-:mod:`repro.sim.network`, not here.
+that matter (neighbor-set computation, flood fan-out, batched delivery
+draining) are vectorised in :mod:`repro.sim.network` /
+:mod:`repro.sim.radio`, not here.  What the engine *does* provide for the
+struct-of-arrays hot path is a small batching contract:
+
+* :meth:`Simulator.alloc_seqs` reserves a contiguous block of tie-break
+  sequence numbers, so a radio fan-out can stamp every delivery of one
+  frame with the exact sequence numbers a per-event schedule loop would
+  have produced;
+* :meth:`Simulator.peek_key` exposes the ``(time, seq)`` key of the next
+  pending event, letting a drain callback process consecutive batch
+  entries *only while nothing else would have fired between them*;
+* :meth:`Simulator.advance_clock` / :meth:`Simulator.push_event_at` let
+  the drain micro-step the clock through its entries and park the
+  remainder back on the heap under the original sequence number.
+
+Together these make the batched path a pure re-ordering of *work inside
+one process loop*, never of simulated causality: every batched entry
+observes exactly the heap position it would have had as its own event.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-import warnings
-import weakref
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 import numpy as np
 
 from repro.exceptions import SimulationError
 
-__all__ = ["Event", "Simulator", "events_processed_total"]
-
-#: live Simulator instances in this process; used only by the deprecated
-#: :func:`events_processed_total` shim below.
-_LIVE_SIMULATORS: "weakref.WeakSet[Simulator]" = weakref.WeakSet()
-
-
-def events_processed_total() -> int:
-    """Events executed across live simulators (deprecated diagnostic).
-
-    .. deprecated::
-        The process-global counter is gone: event accounting is per
-        simulator (:attr:`Simulator.events_processed`), aggregated per
-        world by :func:`repro.world.record_world_events` — which is what
-        the sweep runner reports.  This shim sums over simulators still
-        alive in the process; garbage-collected ones no longer contribute.
-    """
-    warnings.warn(
-        "events_processed_total() is deprecated; use Simulator.events_processed "
-        "or repro.world.record_world_events() for per-world accounting",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return sum(sim.events_processed for sim in _LIVE_SIMULATORS)
+__all__ = ["Event", "Simulator"]
 
 
 class Event:
@@ -58,8 +49,9 @@ class Event:
     simultaneous events preserve FIFO scheduling order.  The engine keeps
     the ordering key *outside* the event — the heap stores
     ``(time, seq, event)`` tuples, so ordering is C-level tuple comparison
-    and never reaches a Python ``__lt__`` (events are compared millions of
-    times per run; this is the engine's one genuinely hot comparison)."""
+    and almost never reaches the Python ``__lt__`` below (events are
+    compared millions of times per run; this is the engine's one
+    genuinely hot comparison)."""
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled")
 
@@ -76,6 +68,17 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        """Tie-break for heap tuples whose ``(time, seq)`` keys are equal.
+
+        Exact key collisions only arise between a cancelled batch-pump
+        parking and its re-issue under the same reserved seq (live
+        events always hold distinct seqs), and cancelled events are
+        skipped unexecuted — so the relative order of a tied pair is
+        unobservable and any deterministic answer is correct.
+        """
+        return False
 
     def __repr__(self) -> str:
         return (
@@ -113,13 +116,13 @@ class Simulator:
 
     def __init__(self, seed: int | None = 0) -> None:
         self._queue: list[tuple[float, int, Event]] = []
-        self._counter = itertools.count()
+        self._seq = 0
         self._now = 0.0
         self._running = False
+        self._horizon: Optional[float] = None
         self._events_processed = 0
         self._idle_hooks: list[Callable[[], None]] = []
         self.rng: np.random.Generator = np.random.default_rng(seed)
-        _LIVE_SIMULATORS.add(self)
 
     # ------------------------------------------------------------------
     # time
@@ -131,13 +134,33 @@ class Simulator:
 
     @property
     def events_processed(self) -> int:
-        """Number of events executed so far (diagnostic)."""
+        """Number of events executed so far (diagnostic).
+
+        Batched deliveries count one per drained entry (via
+        :meth:`tally_batch_entries`), so the figure is comparable between
+        the per-event and batched execution paths.
+        """
         return self._events_processed
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
+        """Number of events still queued (including cancelled ones).
+
+        A delivery batch counts as a single queue entry however many
+        entries it still carries; ``pending == 0`` still means quiescent
+        (a parked batch always keeps one continuation event queued).
+        """
         return len(self._queue)
+
+    @property
+    def horizon(self) -> Optional[float]:
+        """The ``until`` bound of the active :meth:`run`, if any.
+
+        Batch drains consult this so entries beyond the horizon are
+        parked instead of executed, exactly as their per-event
+        counterparts would have stayed on the heap.
+        """
+        return self._horizon
 
     # ------------------------------------------------------------------
     # scheduling
@@ -150,8 +173,10 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
-        ev = Event(self._now + delay, next(self._counter), fn, args)
-        heapq.heappush(self._queue, (ev.time, ev.seq, ev))
+        seq = self._seq
+        self._seq = seq + 1
+        ev = Event(self._now + delay, seq, fn, args)
+        heapq.heappush(self._queue, (ev.time, seq, ev))
         return ev
 
     def schedule_at(self, when: float, fn: Callable[..., None], *args: Any) -> Event:
@@ -166,9 +191,94 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule into the past (when={when!r}, now={self._now!r})"
             )
-        ev = Event(when, next(self._counter), fn, args)
-        heapq.heappush(self._queue, (when, ev.seq, ev))
+        seq = self._seq
+        self._seq = seq + 1
+        ev = Event(when, seq, fn, args)
+        heapq.heappush(self._queue, (when, seq, ev))
         return ev
+
+    # ------------------------------------------------------------------
+    # batching contract (struct-of-arrays delivery draining)
+    # ------------------------------------------------------------------
+    @property
+    def seq_marker(self) -> int:
+        """The next sequence number to be handed out.
+
+        A drain loop snapshots this before invoking a handler; if it
+        changed, the handler scheduled something that may now precede the
+        batch's next entry, so the drain must re-derive its run bound.
+        """
+        return self._seq
+
+    def alloc_seqs(self, count: int) -> int:
+        """Reserve ``count`` consecutive sequence numbers; returns the base.
+
+        The reserved block orders exactly like ``count`` back-to-back
+        :meth:`schedule` calls would have — which is what makes a batched
+        fan-out's entries tie-break identically to per-event scheduling.
+        """
+        if count < 0:
+            raise SimulationError(f"cannot reserve {count!r} sequence numbers")
+        base = self._seq
+        self._seq = base + count
+        return base
+
+    def peek_key(self) -> Optional[tuple[float, int]]:
+        """``(time, seq)`` of the next live event, or ``None`` when empty.
+
+        Cancelled events at the top of the heap are discarded as a side
+        effect (they would be skipped by :meth:`step` anyway).
+        """
+        q = self._queue
+        while q:
+            when, seq, ev = q[0]
+            if ev.cancelled:
+                heapq.heappop(q)
+                continue
+            return (when, seq)
+        return None
+
+    def advance_clock(self, when: float) -> None:
+        """Micro-step the clock to ``when`` from inside a batch drain.
+
+        Only forward moves are allowed; the drain uses this so handlers
+        invoked for batched entries observe the same :attr:`now` they
+        would have seen as individual events.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot move the clock backwards (when={when!r}, now={self._now!r})"
+            )
+        self._now = when
+
+    def push_event_at(
+        self, when: float, seq: int, fn: Callable[..., None], *args: Any
+    ) -> Event:
+        """Re-queue work under an explicit, previously reserved ``seq``.
+
+        This is how a drain parks the unprocessed remainder of a batch:
+        the continuation re-enters the heap at the *original* ``(time,
+        seq)`` of its next entry, so interleaving against every other
+        event is bit-identical to per-event scheduling.  ``seq`` must come
+        from :meth:`alloc_seqs` — the engine does not verify it, and a
+        fabricated value would corrupt tie-break ordering.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot park into the past (when={when!r}, now={self._now!r})"
+            )
+        ev = Event(when, seq, fn, args)
+        heapq.heappush(self._queue, (when, seq, ev))
+        return ev
+
+    def tally_batch_entries(self, count: int) -> None:
+        """Credit ``count`` executed batch entries to the event counter.
+
+        The heap pop that started the drain already counted one event;
+        drains call this with the *additional* entries they processed so
+        :attr:`events_processed` stays comparable across execution paths.
+        """
+        self._events_processed += count
 
     def add_idle_hook(self, fn: Callable[[], None]) -> None:
         """Register ``fn()`` to run whenever :meth:`run` drains the queue.
@@ -216,11 +326,14 @@ class Simulator:
             calls behave like a progressing wall clock).
         max_events:
             Safety valve for runaway protocols: stop after this many events.
+            A batched delivery drain checks the budget only between heap
+            pops, so one drain may overshoot by the entries it coalesced.
         """
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
-        processed = 0
+        self._horizon = until
+        processed_before = self._events_processed
         try:
             while self._queue:
                 when, _, nxt = self._queue[0]
@@ -229,12 +342,11 @@ class Simulator:
                     continue
                 if until is not None and when > until:
                     break
-                if max_events is not None and processed >= max_events:
+                if max_events is not None and (
+                    self._events_processed - processed_before >= max_events
+                ):
                     break
-                if self.step():
-                    # Only executed events count toward the budget;
-                    # cancelled events are discarded above without cost.
-                    processed += 1
+                self.step()
             if until is not None and self._now < until:
                 self._now = until
             if not self._queue:
@@ -242,6 +354,7 @@ class Simulator:
                     hook()
         finally:
             self._running = False
+            self._horizon = None
 
     def clear(self) -> None:
         """Drop all pending events (the clock is left where it is)."""

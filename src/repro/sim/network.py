@@ -47,6 +47,7 @@ from repro.exceptions import ConfigurationError, TopologyError
 from repro.sim.energy import EnergyAccount
 from repro.sim.node import Node, NodeKind
 from repro.sim.spatial import CellGrid
+from repro.sim.state import NodeStateStore
 
 __all__ = [
     "Network",
@@ -78,6 +79,15 @@ class Network:
         Neighbor maintenance strategy: ``"grid"`` (incremental cell-grid
         index, the default) or ``"bruteforce"`` (dense distance matrix
         with full invalidation — the reference implementation).
+    soa:
+        Keep per-node state in a :class:`~repro.sim.state.NodeStateStore`
+        (struct-of-arrays), with ``nodes`` holding thin
+        :class:`~repro.sim.state.NodeView` rows instead of
+        :class:`~repro.sim.node.Node` objects.  ``False`` (the default
+        for directly constructed networks) is the bit-identity reference
+        path, gated exactly like ``index="bruteforce"``; worlds built
+        through :class:`~repro.world.WorldBuilder` enable it via
+        ``WorldConfig.soa``.
     """
 
     def __init__(
@@ -87,6 +97,7 @@ class Network:
         comm_range: float = 40.0,
         sensor_battery: float = math.inf,
         index: str = "grid",
+        soa: bool = False,
     ) -> None:
         positions = np.asarray(positions, dtype=float)
         if positions.ndim != 2 or positions.shape[1] != 2:
@@ -103,10 +114,19 @@ class Network:
         self.positions = positions.copy()
         self.comm_range = float(comm_range)
         self.index = index
-        self.nodes: list[Node] = []
-        for i, kind in enumerate(kinds):
-            capacity = sensor_battery if kind is NodeKind.SENSOR else math.inf
-            self.nodes.append(Node(node_id=i, kind=kind, energy=EnergyAccount(capacity=capacity)))
+        capacities = [
+            sensor_battery if kind is NodeKind.SENSOR else math.inf for kind in kinds
+        ]
+        #: the struct-of-arrays state core (None on the object reference path)
+        self.store: Optional[NodeStateStore] = None
+        if soa:
+            self.store = NodeStateStore(kinds, capacities)
+            self.nodes = [self.store.node_view(i) for i in range(len(kinds))]
+        else:
+            self.nodes = [
+                Node(node_id=i, kind=kind, energy=EnergyAccount(capacity=capacities[i]))
+                for i, kind in enumerate(kinds)
+            ]
 
         self._neighbor_cache: Optional[list[np.ndarray]] = None
         self._grid: Optional[CellGrid] = None
@@ -466,6 +486,7 @@ def build_sensor_network(
     comm_range: float = 40.0,
     sensor_battery: float = math.inf,
     index: str = "grid",
+    soa: bool = False,
 ) -> Network:
     """Assemble a sensor-tier :class:`Network`: sensors first, then gateways.
 
@@ -479,5 +500,6 @@ def build_sensor_network(
     positions = np.vstack([sensor_positions, gateway_positions])
     kinds = [NodeKind.SENSOR] * len(sensor_positions) + [NodeKind.GATEWAY] * len(gateway_positions)
     return Network(
-        positions, kinds, comm_range=comm_range, sensor_battery=sensor_battery, index=index
+        positions, kinds, comm_range=comm_range, sensor_battery=sensor_battery,
+        index=index, soa=soa,
     )

@@ -13,6 +13,9 @@ gateways both.
 
 from __future__ import annotations
 
+import itertools
+import math
+from bisect import bisect
 from dataclasses import dataclass, replace
 from typing import Optional
 
@@ -158,6 +161,27 @@ class Channel:
         # With carrier sensing and collision detection both off, nothing
         # ever reads the medium bookkeeping — skip it on the hot path.
         self._medium_observed = config.csma or config.collisions
+        #: the network's struct-of-arrays core, when it has one
+        self._store = getattr(network, "store", None)
+        # Batched same-timestamp delivery draining requires columnar
+        # state and an unobserved medium (CSMA deferrals and collision
+        # records are inherently per-reception); worlds that fail either
+        # condition fall back to per-event delivery — the per-world
+        # scalar fallback.  LinkDegrade fault windows only swap
+        # loss_rate/burst, so the gate is stable for a channel's lifetime.
+        self._batched = vectorized and self._store is not None and not self._medium_observed
+        # Pending broadcast deliveries as one flat sorted buffer of
+        # ``(time, seq, node, rx_joules, packet, kind)`` entries with a
+        # consume cursor.  New fan-out runs bisect-insert into the
+        # unconsumed tail; consumed entries stay in place (compacted
+        # periodically), so nothing already merged is ever re-sorted or
+        # re-sliced.  One engine event — the "pump" — is parked at the
+        # earliest pending key and drains entries in global key order,
+        # so concurrent frames whose delivery windows interleave still
+        # process with zero per-delivery heap traffic.
+        self._buf: list[tuple] = []
+        self._pos = 0
+        self._pump_event = None
         # Gilbert–Elliott chain state per directed link: True = bad
         # (inside a burst).  Links start in the model's ``start_bad``
         # state on first use; state survives config swaps so a
@@ -239,6 +263,10 @@ class Channel:
             free = self.medium.earliest_free(hearers, sender, self.sim.now)
             if free > self.sim.now:
                 backoff = self._jitter()
+                if self._store is not None:
+                    # Columnar observability: when this node's current
+                    # hold-off expires (absolute time).
+                    self._store.backoff[sender] = free + backoff
                 self.sim.schedule(
                     free - self.sim.now + backoff, self._begin_tx, sender, packet, attempt
                 )
@@ -261,7 +289,9 @@ class Channel:
         self.metrics.on_send(packet)
 
         neighbors = self.network.neighbors(sender)
-        if self.vectorized:
+        if self._batched and packet.dst is None:
+            self._fanout_batched(sender, packet, neighbors, start, end)
+        elif self.vectorized:
             self._fanout_vectorized(sender, packet, attempt, neighbors, start, end)
         else:
             self._fanout_scalar(sender, packet, attempt, neighbors, start, end)
@@ -403,6 +433,268 @@ class Channel:
         if not found_dst:
             # Link-layer unicast to a node that moved/died out of range.
             self.metrics.on_terminal_drop("no_link", packet, node=sender, now=self.sim.now)
+
+    # ------------------------------------------------------------------
+    # batched draining (struct-of-arrays hot path)
+    # ------------------------------------------------------------------
+    def _fanout_batched(
+        self, sender: int, packet: Packet,
+        neighbors: np.ndarray, start: float, end: float,
+    ) -> None:
+        """Broadcast fan-out as one sorted delivery run.
+
+        Instead of one heap event per surviving receiver, all deliveries
+        of the frame become a single queued run whose entries carry the
+        exact ``(time, seq)`` keys per-event scheduling would have
+        produced: sequence numbers are reserved in neighbor order (the
+        order :meth:`_fanout_vectorized` consumes them), event times are
+        computed with the same float expression ``schedule`` uses, and
+        entries are stably sorted by time.  RNG draws are taken in the
+        identical order and shapes, so the run is a pure re-packaging
+        of the reference schedule.
+        """
+        n = len(neighbors)
+        if n == 0:
+            return
+        props = self.network.distances_from(sender, neighbors) / _SPEED_OF_LIGHT
+        now = self.sim.now
+        # Exactly Event.time as schedule(arrive - now) computes it:
+        # now + ((end + prop) - now), elementwise.
+        ev_times = ((end + props) - now) + now
+
+        lost = None
+        loss_rate = self.config.loss_rate
+        if self.config.burst is not None:
+            lost = np.asarray(self._burst_losses(sender, neighbors.tolist()), dtype=bool)
+        elif loss_rate > 0.0:
+            lost = self.sim.rng.random(n) < loss_rate
+
+        if lost is not None and lost.any():
+            for _ in range(int(lost.sum())):
+                self.metrics.on_drop("loss")
+            keep = ~lost
+            kept_ids = neighbors[keep]
+            kept_times = ev_times[keep]
+        else:
+            kept_ids = neighbors
+            kept_times = ev_times
+        k = len(kept_ids)
+        if k == 0:
+            return
+        # One seq per scheduled delivery, reserved in neighbor order —
+        # the reference path's allocation — then stably sorted by time,
+        # which yields exact (time, seq) heap order.
+        base = self.sim.alloc_seqs(k)
+        order = np.argsort(kept_times, kind="stable")
+        rx_j = self.energy_model.rx_cost(packet.size_bits())
+        entries = list(
+            zip(
+                kept_times[order].tolist(),
+                (base + order).tolist(),
+                kept_ids[order].tolist(),
+                itertools.repeat(rx_j),
+                itertools.repeat(packet),
+                itertools.repeat(packet.kind),
+            )
+        )
+        self._enqueue_run(entries)
+
+    def _enqueue_run(self, entries: list) -> None:
+        """Merge a sorted delivery run, re-arming the pump if now earliest.
+
+        When the buffer is drained the run simply becomes the new buffer;
+        otherwise each entry bisect-inserts into the unconsumed tail
+        (entries within a run are increasing, so each search starts where
+        the previous insert landed).  New deliveries are always in the
+        strict future, so the consumed prefix is never disturbed.
+
+        The pump's engine event always sits at the earliest pending
+        delivery's *original* ``(time, seq)`` key, so its ordering
+        against every other event equals that delivery's.  Fan-outs only
+        ever run from engine-event context (``send`` schedules
+        ``_begin_tx``; handlers never transmit synchronously), so this
+        never executes while :meth:`_pump` is mid-drain.
+        """
+        buf = self._buf
+        if self._pos >= len(buf):
+            self._buf = buf = entries
+            self._pos = 0
+        else:
+            lo = self._pos
+            insert = buf.insert
+            for e in entries:
+                j = bisect(buf, e, lo)
+                insert(j, e)
+                lo = j + 1
+        head = buf[self._pos]
+        t0 = head[0]
+        s0 = head[1]
+        ev = self._pump_event
+        if ev is None:
+            self._pump_event = self.sim.push_event_at(t0, s0, self._pump)
+        elif t0 < ev.time or (t0 == ev.time and s0 < ev.seq):
+            ev.cancel()
+            self._pump_event = self.sim.push_event_at(t0, s0, self._pump)
+
+    def _pump(self) -> None:
+        """Drain pending broadcast deliveries in global ``(time, seq)`` order.
+
+        Pending deliveries live in one flat key-sorted buffer (new runs
+        are merged at enqueue time), so the drain is a single tight loop
+        advancing a cursor.  Three ordering guards keep this a pure
+        re-packaging of per-event delivery:
+
+        * every entry executes at exactly the ``(time, seq)`` key its own
+          heap event would have had — an entry never runs past a key that
+          precedes it, whether that key belongs to another frame's
+          delivery or to any other scheduled event;
+        * after a handler that scheduled new work the engine bound is
+          re-derived, since the new event may have to interleave;
+        * energy charges, deaths and drops happen per entry in that exact
+          order (one scalar store op each), so float accumulation order
+          matches the reference path bitwise.
+
+        Only the ``received`` counters are coalesced (they are pure
+        increments — addition order cannot be observed): consecutive
+        entries of one packet kind accumulate locally and flush on kind
+        change and at exit, so metrics are complete whenever the engine
+        regains control.  When entries remain past the engine bound or
+        the ``run(until=...)`` horizon, the pump re-parks at the next
+        entry's original key — the buffer itself stays in place.
+
+        The loop reads ``sim._now``/``sim._seq`` directly rather than
+        through :meth:`Simulator.advance_clock` /
+        :attr:`Simulator.seq_marker` — entry keys are globally
+        nondecreasing by construction, and at ~100k entries per simulated
+        flood the property/method dispatch is measurable.
+        """
+        sim = self.sim
+        store = self._store
+        metrics = self.metrics
+        self._pump_event = None
+        entries = self._buf
+
+        alive_l = store.alive_list
+        handlers = store.handlers
+        spent_rx = store.spent_rx
+        rx_count = store.rx_count
+        fast_l = store.fast_list
+        peek = sim.peek_key
+        q = sim._queue
+        horizon = sim.horizon
+        if horizon is None:
+            horizon = math.inf
+        inf_key = (math.inf, 0)
+        maxseq = sim.seq_marker + (1 << 32)  # beyond any live seq
+        received = metrics.received
+        on_drop = metrics.on_drop
+
+        # Run bound: min(engine top, horizon).  Horizon wins only when
+        # strictly earlier — a live event at the horizon still precedes
+        # parked entries with the same time and a later seq.
+        top = peek() or inf_key
+        if horizon < top[0]:
+            bt = horizon
+            bs = maxseq
+        else:
+            bt = top[0]
+            bs = top[1]
+
+        n = len(entries)
+        i = i0 = self._pos
+        got = 0
+        cur_kind = None
+        seq_mark = sim._seq
+        while i < n:
+            t, s, nb, rx_j, packet, kind = entries[i]
+            if t > bt or (t == bt and s > bs):
+                break
+            sim._now = t  # nondecreasing: entries run in global key order
+            i += 1
+            if fast_l[nb]:
+                # Mains powered and alive: remaining stays inf (inf - j
+                # is inf bitwise, as the reference path computes it) and
+                # no death is possible — the charge is two adds.
+                spent_rx[nb] += rx_j
+                rx_count[nb] += 1
+                if kind is cur_kind:
+                    got += 1
+                else:
+                    if got:
+                        received[cur_kind] += got
+                    cur_kind = kind
+                    got = 1
+                handler = handlers[nb]
+                if handler is not None:
+                    handler(packet)
+                    if sim._seq != seq_mark:
+                        # The handler scheduled something; it may have
+                        # to fire before our next entry — re-derive the
+                        # engine part of the bound.  A seq bump means at
+                        # least one push, so the queue is non-empty;
+                        # only a cancelled top forces the full lazy peek.
+                        seq_mark = sim._seq
+                        tk = q[0]
+                        top = tk if not tk[2].cancelled else (peek() or inf_key)
+                        if horizon < top[0]:
+                            bt = horizon
+                            bs = maxseq
+                        else:
+                            bt = top[0]
+                            bs = top[1]
+            elif alive_l[nb]:
+                # Finite battery: full scalar charge with the death
+                # bookkeeping of the reference path.
+                store.charge_rx(nb, rx_j, t)
+                if not store.energy_alive[nb]:
+                    # Battery died mid-reception; the frame was never
+                    # processed.
+                    metrics.on_node_death(nb, t)
+                    on_drop("dead_node")
+                    continue
+                if kind is cur_kind:
+                    got += 1
+                else:
+                    if got:
+                        received[cur_kind] += got
+                    cur_kind = kind
+                    got = 1
+                handler = handlers[nb]
+                if handler is not None:
+                    handler(packet)
+                    if sim._seq != seq_mark:
+                        seq_mark = sim._seq
+                        tk = q[0]
+                        top = tk if not tk[2].cancelled else (peek() or inf_key)
+                        if horizon < top[0]:
+                            bt = horizon
+                            bs = maxseq
+                        else:
+                            bt = top[0]
+                            bs = top[1]
+            else:
+                # Broadcast copy to a dead receiver: frame-level loss
+                # only, sibling copies may still deliver.
+                on_drop("dead_node")
+
+        if got:
+            received[cur_kind] += got
+        # The pump's own engine event already counted as one processed
+        # event; only the surplus entries are tallied on top of it.
+        sim.tally_batch_entries(i - i0 - 1)
+        if i < n:
+            if i > 8192:
+                # Amortized compaction: drop the consumed prefix at most
+                # once per 8k entries so the buffer stays bounded without
+                # re-copying the unconsumed tail on every park.
+                del entries[:i]
+                i = 0
+            self._pos = i
+            head = entries[i]
+            self._pump_event = sim.push_event_at(head[0], head[1], self._pump)
+        else:
+            entries.clear()
+            self._pos = 0
 
     # ------------------------------------------------------------------
     def _maybe_retry(self, sender: int, packet: Packet, attempt: int) -> None:

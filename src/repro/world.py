@@ -31,7 +31,7 @@ from __future__ import annotations
 import math
 from collections import Counter
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dc_replace
 from typing import Any, Callable, Iterator, Optional, Sequence
 
 import numpy as np
@@ -41,6 +41,7 @@ from repro.sim.energy import EnergyModel
 from repro.sim.engine import Simulator
 from repro.sim.mobility import FeasiblePlaces
 from repro.sim.network import (
+    SPATIAL_INDEXES,
     Network,
     build_sensor_network,
     grid_deployment,
@@ -48,14 +49,102 @@ from repro.sim.network import (
 )
 from repro.sim.node import NodeKind
 from repro.sim.radio import IEEE802154, Channel, RadioConfig
+from repro.sim.serialize import from_jsonable, serializable
 from repro.sim.trace import MetricsCollector
 
 __all__ = [
     "World",
     "WorldBuilder",
+    "WorldConfig",
     "WorldEventRecorder",
     "record_world_events",
 ]
+
+
+# ----------------------------------------------------------------------
+# execution configuration
+# ----------------------------------------------------------------------
+@serializable
+@dataclass(frozen=True)
+class WorldConfig:
+    """Execution configuration of a world, as one serializable value.
+
+    These are the toggles that select *how* a world runs, never *what* it
+    computes: every combination must produce bit-identical metrics rows,
+    RNG streams and conservation ledgers (the equivalence suites hold
+    each axis to that).  Consolidating them in one frozen dataclass means
+    experiments thread a single ``world`` value into their
+    :class:`~repro.runner.spec.ExperimentSpec` params — so SoA and
+    object-path runs hash to distinct cache keys and replay independently
+    — instead of sprinkling ``audit=``/``spatial_index=`` kwargs through
+    every entry point.
+
+    Attributes
+    ----------
+    vectorized:
+        Batch per-neighbor fan-out math with NumPy (PR 2).  ``False`` is
+        the scalar reference loop.
+    soa:
+        Keep node state in a :class:`~repro.sim.state.NodeStateStore`
+        and drain same-timestamp broadcast deliveries in batches.
+        ``False`` is the per-object reference path.  Worlds whose radio
+        observes the medium (CSMA or collision detection) automatically
+        fall back to per-event delivery even with ``soa=True``; the
+        store still carries their node state.
+    spatial_index:
+        ``"grid"`` (incremental) or ``"bruteforce"`` (reference) — see
+        :class:`~repro.sim.network.Network`.
+    audit:
+        ``True`` forces the packet-conservation ledger on, ``False``
+        forces it off, ``None`` defers to the ``REPRO_AUDIT`` default.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan` (or its jsonable
+        form) armed on the built world.
+    """
+
+    vectorized: bool = True
+    soa: bool = True
+    spatial_index: str = "grid"
+    audit: Optional[bool] = None
+    faults: Optional[Any] = None
+
+    def __post_init__(self) -> None:
+        if self.spatial_index not in SPATIAL_INDEXES:
+            raise ConfigurationError(
+                f"unknown spatial index {self.spatial_index!r}; "
+                f"choose from {SPATIAL_INDEXES}"
+            )
+        if self.faults is not None:
+            from repro.faults.plan import FaultPlan  # deferred: faults builds worlds
+
+            if not isinstance(self.faults, FaultPlan):
+                object.__setattr__(self, "faults", FaultPlan.from_param(self.faults))
+
+    def replace(self, **changes) -> "WorldConfig":
+        """A copy with ``changes`` applied (fluent-builder backend)."""
+        return dc_replace(self, **changes)
+
+    @classmethod
+    def from_param(cls, value: "WorldConfig | dict | None") -> Optional["WorldConfig"]:
+        """Coerce an experiment parameter into a :class:`WorldConfig`.
+
+        Accepts a config instance (returned as-is), its tagged jsonable
+        form as produced by :func:`~repro.sim.serialize.to_jsonable`
+        (the shape a config takes after a trip through the runner's
+        JSONL cache), or ``None``.  Anything else — in particular a
+        hand-rolled bare dict — is rejected, so a typo'd field name
+        fails loudly instead of silently running the default config.
+        """
+        if value is None or isinstance(value, cls):
+            return value
+        if isinstance(value, dict) and value.get("__dataclass__") == cls.__name__:
+            cfg = from_jsonable(value)
+            if isinstance(cfg, cls):
+                return cfg
+        raise ConfigurationError(
+            f"cannot interpret {value!r} as a WorldConfig; pass a WorldConfig "
+            "instance, its to_jsonable() form, or None"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -154,6 +243,8 @@ class World:
     protocol: Any = None
     #: armed :class:`~repro.faults.injector.FaultInjector` (None without a plan)
     faults: Any = None
+    #: the :class:`WorldConfig` this world was built with (None for hand wiring)
+    config: Optional[WorldConfig] = None
     extras: dict = field(default_factory=dict)
 
     @property
@@ -227,13 +318,10 @@ class WorldBuilder:
         self._ideal: bool = False
         self._energy_model: Optional[EnergyModel] = None
         self._metrics: Optional[MetricsCollector] = None
-        self._audit: Optional[bool] = None
         self._places: Optional[FeasiblePlaces] = None
         self._require_connected: bool = False
-        self._vectorized: bool = True
-        self._spatial_index: str = "grid"
         self._node_spec: Optional[tuple[np.ndarray, Sequence[NodeKind], Optional[float]]] = None
-        self._fault_plan: Any = None
+        self._config = WorldConfig()
 
     # -- engine ---------------------------------------------------------
     def seed(self, protocol_seed: int | None) -> "WorldBuilder":
@@ -325,6 +413,26 @@ class WorldBuilder:
         self._metrics = collector
         return self
 
+    # -- execution configuration ---------------------------------------
+    # The scattered per-toggle fields of earlier revisions now live in a
+    # single WorldConfig; the fluent methods below survive as thin
+    # wrappers so call sites read the same, and configure() swaps the
+    # whole value at once (experiments thread exactly that value into
+    # their ExperimentSpec params / cache keys).
+    @property
+    def config(self) -> WorldConfig:
+        """The execution configuration this builder will apply."""
+        return self._config
+
+    def configure(self, config: WorldConfig) -> "WorldBuilder":
+        """Replace the whole execution configuration in one call."""
+        if not isinstance(config, WorldConfig):
+            raise ConfigurationError(
+                f"configure() expects a WorldConfig, got {type(config).__name__}"
+            )
+        self._config = config
+        return self
+
     def audit(self, enabled: bool = True) -> "WorldBuilder":
         """Enforce packet conservation on this world.
 
@@ -334,12 +442,23 @@ class WorldBuilder:
         terminal state raises :class:`~repro.exceptions.ConservationError`.
         ``audit(False)`` opts a world out even under ``REPRO_AUDIT=1``.
         """
-        self._audit = enabled
+        self._config = self._config.replace(audit=enabled)
         return self
 
     def scalar_fanout(self) -> "WorldBuilder":
         """Use the reference per-neighbor radio loop (benchmarks/tests)."""
-        self._vectorized = False
+        self._config = self._config.replace(vectorized=False)
+        return self
+
+    def soa(self, enabled: bool = True) -> "WorldBuilder":
+        """Toggle the struct-of-arrays node-state store (default on).
+
+        ``soa(False)`` selects the per-object reference path — the same
+        kind of escape hatch as ``spatial_index("bruteforce")`` and
+        :meth:`scalar_fanout`.  Ignored when :meth:`network` supplies an
+        already-built topology (its layout is fixed at construction).
+        """
+        self._config = self._config.replace(soa=enabled)
         return self
 
     def spatial_index(self, index: str) -> "WorldBuilder":
@@ -351,7 +470,7 @@ class WorldBuilder:
         equivalence tests).  Ignored when :meth:`network` supplies an
         already-built topology.
         """
-        self._spatial_index = index
+        self._config = self._config.replace(spatial_index=index)
         return self
 
     # -- extras ---------------------------------------------------------
@@ -369,9 +488,8 @@ class WorldBuilder:
         is scheduled, so fault timing is part of the deterministic event
         order; the armed injector is exposed as ``World.faults``.
         """
-        from repro.faults.plan import FaultPlan  # deferred: faults builds worlds
-
-        self._fault_plan = FaultPlan.from_param(plan) if plan is not None else None
+        # WorldConfig.__post_init__ normalizes jsonable/params forms.
+        self._config = self._config.replace(faults=plan)
         return self
 
     # -- build ----------------------------------------------------------
@@ -387,12 +505,16 @@ class WorldBuilder:
             )
         if self._network is not None:
             return self._network
+        cfg = self._config
         if self._node_spec is not None:
             positions, kinds, spec_range = self._node_spec
             rng = spec_range if spec_range is not None else self._comm_range
             if rng is None:
                 raise ConfigurationError("nodes() needs a comm_range (argument or comm_range())")
-            return Network(positions, kinds, comm_range=rng, index=self._spatial_index)
+            return Network(
+                positions, kinds, comm_range=rng,
+                index=cfg.spatial_index, soa=cfg.soa,
+            )
         if self._sensor_positions is None:
             raise ConfigurationError("no topology: call network(), nodes(), sensors() or a deployment method")
         if self._gateway_positions is None:
@@ -407,7 +529,8 @@ class WorldBuilder:
             self._gateway_positions,
             comm_range=comm_range,
             sensor_battery=self._sensor_battery,
-            index=self._spatial_index,
+            index=cfg.spatial_index,
+            soa=cfg.soa,
         )
 
     def build(self) -> World:
@@ -418,11 +541,12 @@ class WorldBuilder:
                 f"deployment of {len(network)} nodes leaves sensors unreachable; "
                 "densify, enlarge the range or move gateways"
             )
+        cfg = self._config
         sim = self._sim if self._sim is not None else Simulator(seed=self._seed)
         metrics = self._metrics or MetricsCollector()
-        if self._audit is True:
+        if cfg.audit is True:
             metrics.enable_audit()
-        elif self._audit is False:
+        elif cfg.audit is False:
             metrics.audit = False
         if metrics.audit and metrics.ledger is not None:
             # Strict conservation at every quiescence: with an empty heap
@@ -435,13 +559,16 @@ class WorldBuilder:
             self._radio or IEEE802154,
             self._energy_model,
             metrics,
-            vectorized=self._vectorized,
+            vectorized=cfg.vectorized,
         )
         for recorder in _recorders:
             recorder.track(sim, metrics)
-        world = World(sim=sim, network=network, channel=channel, places=self._places)
-        if self._fault_plan is not None:
+        world = World(
+            sim=sim, network=network, channel=channel,
+            places=self._places, config=cfg,
+        )
+        if cfg.faults is not None:
             from repro.faults.injector import FaultInjector  # deferred: cycle guard
 
-            world.faults = FaultInjector(world, self._fault_plan).arm()
+            world.faults = FaultInjector(world, cfg.faults).arm()
         return world

@@ -139,20 +139,16 @@ def test_max_events_does_not_count_cancelled_events():
     assert sim.events_processed == 3
 
 
-def test_events_processed_total_deprecated_sums_live_simulators():
-    import pytest
+def test_events_processed_total_shim_is_gone():
+    # The deprecated process-global tally was removed after one release
+    # of warnings; per-world counters (World.events_processed and
+    # record_world_events) are the only accounting surface.
+    import repro.sim
+    import repro.sim.engine
 
-    from repro.sim.engine import events_processed_total
-
-    with pytest.warns(DeprecationWarning):
-        before = events_processed_total()
-    sim = Simulator(seed=0)
-    for i in range(4):
-        sim.schedule(float(i), lambda: None)
-    sim.run()
-    with pytest.warns(DeprecationWarning):
-        after = events_processed_total()
-    assert after - before == 4
+    assert not hasattr(repro.sim.engine, "events_processed_total")
+    assert not hasattr(repro.sim, "events_processed_total")
+    assert "events_processed_total" not in repro.sim.__all__
 
 
 def test_events_scheduled_during_run_execute():
