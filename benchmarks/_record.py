@@ -1,0 +1,60 @@
+"""Shared benchmark record writer: ``BENCH_<name>.json`` at repo root.
+
+Every benchmark that leaves a committed record follows the
+``BENCH_hotpath.json`` schema — a ``config`` block (the knobs the run
+was taken with), a ``legs`` mapping (one timed configuration per label,
+each with at least ``wall_clock_s``), a ``digest`` block (the numbers
+every leg must agree on, proving the legs computed the same thing), and
+a headline ``speedup``.  Centralizing the writer keeps the schema in
+one place so ``bench_topology.py`` and ``bench_shard.py`` records stay
+machine-comparable with the hotpath one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+__all__ = ["bench_record", "write_bench"]
+
+#: the directory holding the committed BENCH_*.json records.
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def bench_record(
+    config: dict, legs: dict, digest: dict, speedup: float, **extra
+) -> dict:
+    """Assemble a record in the ``BENCH_hotpath.json`` schema.
+
+    ``extra`` lands at the top level (e.g. ``soa_speedup`` in the
+    hotpath record, ``cpu_count`` in the shard one).
+    """
+    record = {
+        "config": dict(config),
+        "legs": {str(k): dict(v) for k, v in legs.items()},
+        "digest": dict(digest),
+        "speedup": float(speedup),
+    }
+    record.update(extra)
+    return record
+
+
+def write_bench(name: str, record: dict, path: Optional[str] = None) -> str:
+    """Write ``record`` to ``BENCH_<name>.json`` (repo root by default).
+
+    ``path`` overrides the destination (``"-"`` prints to stdout and
+    writes nothing).  Returns the path written, or ``"-"``.
+    """
+    for key in ("config", "legs", "digest", "speedup"):
+        if key not in record:
+            raise ValueError(f"bench record for {name!r} is missing {key!r}")
+    blob = json.dumps(record, indent=2)
+    if path == "-":
+        print(blob)
+        return "-"
+    if path is None:
+        path = os.path.join(REPO_ROOT, f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        fh.write(blob + "\n")
+    return path

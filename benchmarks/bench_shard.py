@@ -1,0 +1,125 @@
+"""Sharded-executor scaling benchmark: 1/2/4 workers, one digest.
+
+Runs the same flooding workload through :func:`repro.shard.run_sharded`
+at increasing worker counts and checks two things at once:
+
+* **Correctness** — every leg must produce the same order-canonical
+  :func:`~repro.shard.runner.run_digest`; the sharded legs additionally
+  pass the merged-ledger conservation audit.  A digest mismatch is a
+  hard failure, not a slow run.
+* **Scaling** — the headline ``speedup`` is ``wall(1 worker) /
+  wall(max workers)``.  Speedup only materializes with real cores:
+  the record stores ``cpu_count`` so a number taken on a 1-CPU
+  container is not mistaken for a regression.  The CI job on a
+  multi-core runner gates with ``--min-speedup``.
+
+Refresh the committed record (20k sensors, the E6 configuration)::
+
+    PYTHONPATH=src python benchmarks/bench_shard.py --sensors 20000
+
+The record lands at the repo root as ``BENCH_shard.json`` in the
+``BENCH_hotpath.json`` schema via :mod:`benchmarks._record`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from _record import bench_record, write_bench
+from repro.experiments.scalability import make_xl_workload
+from repro.shard import run_sharded
+
+#: sensors per square meter — one per 30x30 m cell, the paper's density.
+_DENSITY = 1 / 900.0
+_COMM_RANGE = 55.0
+
+
+def run_benchmark(
+    sensors: int, floods: int, ttl: int, workers: list[int], seed: int = 0
+) -> dict:
+    workload = make_xl_workload(
+        sensors, floods, ttl, density=_DENSITY, comm_range=_COMM_RANGE,
+        seed=seed, audit=True,
+    )
+    legs: dict[str, dict] = {}
+    digests: dict[int, str] = {}
+    baseline_metrics = None
+    for w in workers:
+        result = run_sharded(workload, shards=w)
+        digests[w] = result.digest
+        if baseline_metrics is None:
+            baseline_metrics = result.metrics
+        legs[f"workers-{w}"] = {
+            "workers": w,
+            "wall_clock_s": result.wall_clock_s,
+            "events_processed": result.events_processed,
+            "events_per_sec": result.events_processed / result.wall_clock_s,
+            "windows": result.windows,
+            "conserved": result.conservation is None or result.conservation.ok,
+        }
+    want = digests[workers[0]]
+    for w, got in digests.items():
+        if got != want:
+            raise AssertionError(
+                f"digest diverged: {workers[0]} workers -> {want}, {w} workers -> {got}"
+            )
+    base = legs[f"workers-{workers[0]}"]["wall_clock_s"]
+    peak = legs[f"workers-{max(workers)}"]["wall_clock_s"]
+    m_first = baseline_metrics
+    return bench_record(
+        config={"sensors": sensors, "floods": floods, "ttl": ttl, "seed": seed,
+                "comm_range": _COMM_RANGE, "density": _DENSITY,
+                "workers": list(workers)},
+        legs=legs,
+        digest={"run_digest": want,
+                "data_generated": m_first.data_generated,
+                "delivered": len({(r.origin, r.uid) for r in m_first.deliveries}),
+                "bytes_sent": m_first.bytes_sent},
+        speedup=base / peak,
+        cpu_count=os.cpu_count(),
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sensors", type=int, default=20000)
+    parser.add_argument("--floods", type=int, default=8)
+    parser.add_argument("--ttl", type=int, default=6,
+                        help="flood TTL (bounds per-datum reach)")
+    parser.add_argument("--workers", default="1,2,4",
+                        help="comma-separated worker counts (first is baseline)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="record destination ('-' for stdout; default "
+                             "BENCH_shard.json at the repo root)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="exit non-zero when speedup falls below this")
+    args = parser.parse_args(argv)
+
+    workers = [int(w) for w in args.workers.split(",")]
+    report = run_benchmark(
+        args.sensors, args.floods, args.ttl, workers, seed=args.seed
+    )
+    written = write_bench("shard", report, path=args.json)
+    if written != "-":
+        print(f"sensors={args.sensors} floods={args.floods} ttl={args.ttl} "
+              f"cpus={report['cpu_count']}")
+        for label, leg in report["legs"].items():
+            print(f"{label:<12} {leg['wall_clock_s']:.3f}s  "
+                  f"{leg['events_per_sec']:,.0f} ev/s  "
+                  f"windows={leg['windows']}")
+        print(f"digest:      {report['digest']['run_digest'][:16]}… (all legs equal)")
+        print(f"speedup:     {report['speedup']:.2f}x")
+        print(f"record:      {written}")
+
+    if args.min_speedup is not None and report["speedup"] < args.min_speedup:
+        print(f"FAIL: speedup {report['speedup']:.2f}x < required "
+              f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,25 +18,27 @@ two implementations are observably identical — per-round digests of
 the moved gateway's neighbor row and the full hop table are asserted
 equal, so the benchmark doubles as an equivalence check.
 
-Run standalone for JSON output::
+Run standalone to refresh the committed record::
 
-    PYTHONPATH=src python benchmarks/bench_topology.py --nodes 2000 --json -
+    PYTHONPATH=src python benchmarks/bench_topology.py --nodes 2000
 
-The CI smoke job runs a small config with ``--min-speedup`` so a
-regression that makes the incremental path slower than the reference
-fails loudly.
+The record lands at the repo root as ``BENCH_topology.json`` in the
+``BENCH_hotpath.json`` schema (config + legs + digest + speedup) via
+:mod:`benchmarks._record`; ``--json -`` prints it instead.  The CI
+smoke job runs a small config with ``--min-speedup`` so a regression
+that makes the incremental path slower than the reference fails loudly.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import math
 import sys
 import time
 
 import numpy as np
 
+from _record import bench_record, write_bench
 from repro.sim.network import build_sensor_network, uniform_deployment
 
 #: target mean node degree — MLR fields in the paper's sweeps are dense.
@@ -113,20 +115,23 @@ def run_benchmark(n_nodes: int, rounds: int, seed: int = 0) -> dict:
     brute = run_rotation(n_nodes, rounds, index="bruteforce", seed=seed)
     grid = run_rotation(n_nodes, rounds, index="grid", seed=seed)
     # Equivalence: every round's neighbor row and hop table must match.
-    for r, (want, got) in enumerate(zip(brute.pop("digests"), grid.pop("digests"))):
+    digests = brute.pop("digests")
+    for r, (want, got) in enumerate(zip(digests, grid.pop("digests"))):
         if want != got:
             raise AssertionError(
                 f"index implementations diverged at round {r}: "
                 f"bruteforce={want} grid={got}"
             )
-    return {
-        "config": {"nodes": n_nodes, "rounds": rounds, "seed": seed,
-                   "comm_range": _COMM_RANGE, "field_size": _field_size(n_nodes),
-                   "gateways": _NUM_GATEWAYS, "places": _NUM_PLACES},
-        "bruteforce": brute,
-        "grid": grid,
-        "speedup": brute["wall_clock_s"] / grid["wall_clock_s"],
-    }
+    return bench_record(
+        config={"nodes": n_nodes, "rounds": rounds, "seed": seed,
+                "comm_range": _COMM_RANGE, "field_size": _field_size(n_nodes),
+                "gateways": _NUM_GATEWAYS, "places": _NUM_PLACES},
+        legs={"bruteforce": brute, "grid": grid},
+        digest={"rounds": rounds,
+                "hop_sum_checksum": sum(d[-1] for d in digests),
+                "neighbor_checksum": sum(d[0] for d in digests)},
+        speedup=brute["wall_clock_s"] / grid["wall_clock_s"],
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -135,26 +140,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--rounds", type=int, default=60)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--json", default=None, metavar="PATH",
-                        help="write the JSON report here ('-' for stdout)")
+                        help="record destination ('-' for stdout; default "
+                             "BENCH_topology.json at the repo root)")
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="exit non-zero when speedup falls below this")
     args = parser.parse_args(argv)
 
     report = run_benchmark(args.nodes, args.rounds, seed=args.seed)
-    blob = json.dumps(report, indent=2)
-    if args.json == "-":
-        print(blob)
-    else:
-        if args.json:
-            with open(args.json, "w") as fh:
-                fh.write(blob + "\n")
-        b, g = report["bruteforce"], report["grid"]
+    written = write_bench("topology", report, path=args.json)
+    if written != "-":
+        b, g = report["legs"]["bruteforce"], report["legs"]["grid"]
         print(f"nodes={args.nodes} rounds={args.rounds}")
         print(f"bruteforce: {b['wall_clock_s']:.3f}s  "
               f"{b['rounds_per_sec']:,.1f} rounds/s")
         print(f"grid:       {g['wall_clock_s']:.3f}s  "
               f"{g['rounds_per_sec']:,.1f} rounds/s")
         print(f"speedup:    {report['speedup']:.2f}x")
+        print(f"record:     {written}")
 
     if args.min_speedup is not None and report["speedup"] < args.min_speedup:
         print(f"FAIL: speedup {report['speedup']:.2f}x < required "

@@ -52,8 +52,21 @@ class Flooding:
         for node in network.nodes:
             node.handler = self._make_handler(node.node_id)
 
-    def send_data(self, source: int, payload_bytes: Optional[int] = None) -> int:
-        data_id = next(self._data_ids)
+    def send_data(
+        self,
+        source: int,
+        payload_bytes: Optional[int] = None,
+        data_id: Optional[int] = None,
+    ) -> int:
+        """Originate one datum at ``source``; returns its ``data_id``.
+
+        ``data_id`` defaults to the protocol's running counter; sharded
+        execution passes it explicitly so every worker labels the datum
+        with the same *global* identity regardless of which subset of
+        the traffic schedule it owns.
+        """
+        if data_id is None:
+            data_id = next(self._data_ids)
         self.metrics.on_data_generated(origin=source, data_id=data_id, now=self.sim.now)
         node = self.network.nodes[source]
         if not node.alive:
@@ -109,8 +122,14 @@ class Flooding:
 class Gossiping(Flooding):
     """Flooding's random-walk variant: forward to one random neighbor."""
 
-    def send_data(self, source: int, payload_bytes: Optional[int] = None) -> int:
-        data_id = next(self._data_ids)
+    def send_data(
+        self,
+        source: int,
+        payload_bytes: Optional[int] = None,
+        data_id: Optional[int] = None,
+    ) -> int:
+        if data_id is None:
+            data_id = next(self._data_ids)
         self.metrics.on_data_generated(origin=source, data_id=data_id, now=self.sim.now)
         node = self.network.nodes[source]
         if not node.alive:

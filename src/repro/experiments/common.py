@@ -10,7 +10,6 @@ gateways.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
@@ -26,7 +25,6 @@ __all__ = [
     "Scenario",
     "ScenarioResult",
     "default_energy_model",
-    "resolve_world_config",
     "make_uniform_scenario",
     "make_grid_scenario",
     "corner_places",
@@ -107,40 +105,6 @@ def corner_places(field_size: float, inset: float = 0.15) -> FeasiblePlaces:
     )
 
 
-def resolve_world_config(
-    world: "WorldConfig | dict | None",
-    spatial_index: Optional[str],
-    audit: Optional[bool],
-    fault_plan,
-) -> WorldConfig:
-    """Fold legacy execution kwargs into one :class:`WorldConfig`.
-
-    ``spatial_index``/``audit``/``fault_plan`` predate the consolidated
-    ``world`` parameter; passing them still works but warns, and mixing
-    them with an explicit ``world`` applies them on top of it (loud and
-    unambiguous beats silently ignoring either side).
-    """
-    cfg = WorldConfig.from_param(world) or WorldConfig()
-    legacy = {
-        k: v
-        for k, v in (
-            ("spatial_index", spatial_index),
-            ("audit", audit),
-            ("faults", fault_plan),
-        )
-        if v is not None
-    }
-    if legacy:
-        warnings.warn(
-            f"passing {sorted(legacy)} as bare scenario kwargs is deprecated; "
-            f"pass world=WorldConfig({', '.join(sorted(legacy))}=...) instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        cfg = cfg.replace(**legacy)
-    return cfg
-
-
 def make_uniform_scenario(
     n_sensors: int,
     field_size: float,
@@ -153,20 +117,18 @@ def make_uniform_scenario(
     energy_model: Optional[EnergyModel] = None,
     require_connected: bool = True,
     world: "WorldConfig | dict | None" = None,
-    spatial_index: Optional[str] = None,
-    audit: Optional[bool] = None,
-    fault_plan=None,
 ) -> Scenario:
     """Uniform random deployment with explicit gateway positions.
 
     ``world`` carries the execution configuration — audit ledger,
-    spatial index, SoA/vectorized paths, fault plan — as one
+    spatial index, SoA/vectorized paths, fault plan, shards — as one
     :class:`~repro.world.WorldConfig` value (or its jsonable form, as it
     arrives from swept :class:`~repro.runner.spec.ExperimentSpec`
-    params).  The trailing ``spatial_index``/``audit``/``fault_plan``
-    kwargs are the deprecated pre-``WorldConfig`` spelling.
+    params).  The pre-``WorldConfig`` bare ``spatial_index``/``audit``/
+    ``fault_plan`` kwargs were removed after a deprecation cycle —
+    passing them now raises ``TypeError``.
     """
-    cfg = resolve_world_config(world, spatial_index, audit, fault_plan)
+    cfg = WorldConfig.from_param(world) or WorldConfig()
     builder = (
         WorldBuilder()
         .seed(protocol_seed)
@@ -194,15 +156,13 @@ def make_grid_scenario(
     radio: Optional[RadioConfig] = None,
     energy_model: Optional[EnergyModel] = None,
     world: "WorldConfig | dict | None" = None,
-    spatial_index: Optional[str] = None,
-    audit: Optional[bool] = None,
 ) -> Scenario:
     """Regular grid deployment (deterministic topologies for tests).
 
-    ``world`` is the consolidated execution configuration; the trailing
-    ``spatial_index``/``audit`` kwargs are its deprecated spelling.
+    ``world`` is the consolidated execution configuration; the removed
+    bare ``spatial_index``/``audit`` kwargs now raise ``TypeError``.
     """
-    cfg = resolve_world_config(world, spatial_index, audit, None)
+    cfg = WorldConfig.from_param(world) or WorldConfig()
     builder = (
         WorldBuilder()
         .seed(protocol_seed)

@@ -15,7 +15,6 @@ variance (the D^2 objective of eq. 1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.analysis.stats import energy_balance_index
 from repro.analysis.tables import format_table
@@ -30,11 +29,11 @@ from repro.experiments.common import (
     corner_places,
     default_energy_model,
     make_uniform_scenario,
-    resolve_world_config,
     run_collection_rounds,
 )
 from repro.sim.mobility import GatewaySchedule
 from repro.sim.serialize import serializable
+from repro.world import WorldConfig
 
 __all__ = ["LifetimeComparison", "run_lifetime_comparison", "LIFETIME_PROTOCOLS"]
 
@@ -91,7 +90,6 @@ def run_lifetime_comparison(
     seed: int = 1,
     protocols: tuple[str, ...] = LIFETIME_PROTOCOLS,
     world=None,
-    spatial_index: Optional[str] = None,
 ) -> LifetimeComparison:
     """Run every protocol on an identical deployment until first death.
 
@@ -101,7 +99,7 @@ def run_lifetime_comparison(
     large enough to reach steady state — with tiny budgets every protocol
     dies during its own setup phase and the comparison is meaningless.
     """
-    cfg = resolve_world_config(world, spatial_index, None, None)
+    cfg = WorldConfig.from_param(world) or WorldConfig()
     places = corner_places(field_size)
     center = [[field_size / 2, field_size / 2]]
     multi_gw = [list(places.position(p)) for p in places.labels[:gateways]]

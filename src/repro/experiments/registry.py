@@ -24,7 +24,7 @@ from repro.experiments.lifetime import run_lifetime_comparison
 from repro.experiments.lp_bound import run_lp_bound
 from repro.experiments.mobility_overhead import run_mobility_overhead
 from repro.experiments.robustness import run_robustness
-from repro.experiments.scalability import run_scalability
+from repro.experiments.scalability import run_scalability, run_scalability_xl
 from repro.experiments.security_overhead import run_security_overhead
 from repro.experiments.table1_mlr import run_table1
 from repro.sim.serialize import serializable
@@ -146,6 +146,10 @@ for _adapter in (
     ExperimentAdapter(
         "gateway_count", run_gateway_count, "repro.experiments.gateway_count",
         "E6 — lifetime and hops vs gateway count k",
+    ),
+    ExperimentAdapter(
+        "scalability_xl", run_scalability_xl, "repro.experiments.scalability",
+        "E6b — sharded execution scaling: digest-equal flooding at 20k-100k sensors",
     ),
     ExperimentAdapter(
         "security_overhead", run_security_overhead, "repro.experiments.security_overhead",

@@ -1,18 +1,26 @@
-"""E4 — scalability: hops/latency/energy vs network size, 1 sink vs m gateways.
+"""E4/E6b — scalability: protocol curves vs size, and sharded execution.
 
-Quantifies the Section 1/3 claim that the flat single-sink architecture
-scales poorly: "With the expansion of sensor networks, the average number
-of hops between a source sensor node to the single sink become more and
-more, resulting in more energy consumption and transmission delay."
+E4 quantifies the Section 1/3 claim that the flat single-sink
+architecture scales poorly: "With the expansion of sensor networks, the
+average number of hops between a source sensor node to the single sink
+become more and more, resulting in more energy consumption and
+transmission delay."  Node density is held constant while the field
+grows, with one sink at the field center vs ``m`` gateways spread over
+the field.  Expected shape: single-sink mean hops grow ~ sqrt(area)
+while the multi-gateway curve grows ~ sqrt(area)/sqrt(m).
 
-Node density is held constant while the field grows, with one sink at
-the field center vs ``m`` gateways spread over the field.  Expected
-shape: single-sink mean hops grow ~ sqrt(area) while the multi-gateway
-curve grows ~ sqrt(area)/sqrt(m) — the gap widens with size.
+E6b (:func:`run_scalability_xl`) pushes the same constant-density
+construction to 20k-100k sensors, where a single process becomes the
+bottleneck: each size runs TTL-bounded flooding through
+:func:`repro.shard.run_sharded` at increasing worker counts, asserting
+the order-canonical digest is identical across worker counts (the
+sharded executor is an execution strategy, not a model change) and
+reporting per-leg wall clock.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional
 
@@ -21,14 +29,23 @@ import numpy as np
 from repro.analysis.tables import format_table
 from repro.baselines.flat import FlatSinkRouting
 from repro.core.spr import SPR
+from repro.exceptions import SimulationError
 from repro.experiments.common import (
     make_uniform_scenario,
-    resolve_world_config,
     run_collection_rounds,
 )
+from repro.shard import ShardWorkload, run_sharded
+from repro.sim.network import uniform_deployment
 from repro.sim.serialize import serializable
+from repro.world import WorldConfig
 
-__all__ = ["ScalabilityResult", "run_scalability"]
+__all__ = [
+    "ScalabilityResult",
+    "run_scalability",
+    "ScalabilityXLResult",
+    "make_xl_workload",
+    "run_scalability_xl",
+]
 
 
 @serializable
@@ -102,17 +119,15 @@ def run_scalability(
     rounds: int = 2,
     seed: int = 1,
     world=None,
-    spatial_index: Optional[str] = None,
 ) -> ScalabilityResult:
     """Sweep network size at constant density.
 
     ``world`` (a :class:`~repro.world.WorldConfig` or its jsonable form)
     selects the execution configuration; ``world=WorldConfig(
     spatial_index="bruteforce")`` reruns the sweep on the quadratic
-    reference path (ablations, benchmarks).  The bare ``spatial_index``
-    kwarg is the deprecated spelling of the same choice.
+    reference path (ablations, benchmarks).
     """
-    cfg = resolve_world_config(world, spatial_index, None, None)
+    cfg = WorldConfig.from_param(world) or WorldConfig()
     rows = []
     for n in sizes:
         field = float(np.sqrt(n / density))
@@ -150,3 +165,139 @@ def run_scalability(
             )
         )
     return ScalabilityResult(rows=rows, gateways=gateways)
+
+
+# ----------------------------------------------------------------------
+# E6b — sharded execution scaling
+# ----------------------------------------------------------------------
+@serializable
+@dataclass(frozen=True)
+class ScalabilityXLRow:
+    """One (network size, worker count) leg of the sharded sweep."""
+
+    n_sensors: int
+    shards: int
+    wall_clock_s: float
+    events_processed: int
+    windows: int
+    digest: str
+    data_generated: int
+    delivered: int
+    conserved: bool
+
+
+@serializable
+@dataclass(frozen=True)
+class ScalabilityXLResult:
+    rows: list
+
+    def format_table(self) -> str:
+        return format_table(
+            ["n", "workers", "wall_s", "events", "ev/s", "windows",
+             "delivered", "digest"],
+            [
+                [r.n_sensors, r.shards, round(r.wall_clock_s, 3),
+                 r.events_processed,
+                 int(r.events_processed / r.wall_clock_s) if r.wall_clock_s else 0,
+                 r.windows, f"{r.delivered}/{r.data_generated}",
+                 r.digest[:12]]
+                for r in self.rows
+            ],
+            title="E6b — sharded execution scaling (digests equal per size)",
+        )
+
+    def speedup(self, n_sensors: int) -> float:
+        """wall(min workers) / wall(max workers) at one network size."""
+        legs = {r.shards: r.wall_clock_s for r in self.rows if r.n_sensors == n_sensors}
+        return legs[min(legs)] / legs[max(legs)]
+
+
+def make_xl_workload(
+    sensors: int,
+    floods: int,
+    ttl: int,
+    density: float = 1 / 900.0,
+    comm_range: float = 55.0,
+    seed: int = 0,
+    audit: Optional[bool] = None,
+) -> ShardWorkload:
+    """The E6b deployment: constant density, gateway grid, spread floods.
+
+    The gateway grid scales with the field (one per ~5000 sensors,
+    minimum 2x2) so delivery stays local at 100k sensors; ``ttl`` bounds
+    each flood's reach, which is what makes six-figure fields tractable
+    — an unbounded flood touches every node per datum.
+    """
+    field = math.sqrt(sensors / density)
+    positions = uniform_deployment(sensors, field, seed=seed)
+    g = max(2, round(math.sqrt(sensors / 5000.0)))
+    frac = [(k + 1) / (g + 1) for k in range(g)]
+    gateways = np.asarray([[fx * field, fy * field] for fx in frac for fy in frac])
+    sources = [int(k * sensors / floods) for k in range(floods)]
+    traffic = tuple((1.0 + 0.25 * k, s) for k, s in enumerate(sources))
+    return ShardWorkload(
+        sensor_positions=positions,
+        gateway_positions=gateways,
+        comm_range=comm_range,
+        traffic=traffic,
+        world=WorldConfig(audit=audit),
+        protocol="flooding",
+        protocol_params={"max_hops": ttl},
+        seed=seed,
+    )
+
+
+def run_scalability_xl(
+    sizes: tuple[int, ...] = (5000,),
+    shards: tuple[int, ...] = (1, 2),
+    floods: int = 16,
+    ttl: int = 10,
+    density: float = 1 / 900.0,
+    comm_range: float = 55.0,
+    seed: int = 0,
+    world=None,
+) -> ScalabilityXLResult:
+    """Sweep network size × worker count through the sharded executor.
+
+    Every size is replayed at each worker count in ``shards``; the legs
+    of one size must agree on the run digest (raises
+    :class:`~repro.exceptions.SimulationError` otherwise) and, under
+    audit mode, each sharded leg passes the merged conservation audit.
+    ``world`` only contributes its audit flag here — sharded execution
+    constrains the rest of the configuration itself.
+    """
+    cfg = WorldConfig.from_param(world) or WorldConfig()
+    rows = []
+    for n in sizes:
+        workload = make_xl_workload(
+            n, floods, ttl, density=density, comm_range=comm_range,
+            seed=seed, audit=cfg.audit,
+        )
+        want = None
+        for w in shards:
+            result = run_sharded(workload, shards=int(w))
+            if want is None:
+                want = result.digest
+            elif result.digest != want:
+                raise SimulationError(
+                    f"sharded run diverged at n={n}: {w} workers produced "
+                    f"digest {result.digest}, expected {want}"
+                )
+            rows.append(
+                ScalabilityXLRow(
+                    n_sensors=int(n),
+                    shards=int(w),
+                    wall_clock_s=result.wall_clock_s,
+                    events_processed=result.events_processed,
+                    windows=result.windows,
+                    digest=result.digest,
+                    data_generated=result.metrics.data_generated,
+                    delivered=len(
+                        {(r.origin, r.uid) for r in result.metrics.deliveries}
+                    ),
+                    conserved=(
+                        result.conservation is None or result.conservation.ok
+                    ),
+                )
+            )
+    return ScalabilityXLResult(rows=rows)

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -26,8 +25,7 @@ from repro.analysis.tables import format_table
 from repro.core.mlr import MLR
 from repro.sim.mobility import FeasiblePlaces, GatewaySchedule
 from repro.sim.serialize import serializable
-from repro.experiments.common import resolve_world_config
-from repro.world import WorldBuilder
+from repro.world import WorldBuilder, WorldConfig
 
 __all__ = ["Table1Result", "run_table1", "PAPER_TABLE1"]
 
@@ -105,17 +103,15 @@ def run_table1(
     seed: int = 0,
     round_duration: float = 20.0,
     world=None,
-    spatial_index: Optional[str] = None,
 ) -> Table1Result:
     """Drive MLR through the three rounds of Table 1 and snapshot Si.
 
     The gateway moves of rounds 2 and 3 exercise the incremental spatial
     index; ``world=WorldConfig(spatial_index="bruteforce")`` replays the
     walkthrough on the full-invalidation reference path (the results
-    must be identical).  The bare ``spatial_index`` kwarg is the
-    deprecated spelling.
+    must be identical).
     """
-    cfg = resolve_world_config(world, spatial_index, None, None)
+    cfg = WorldConfig.from_param(world) or WorldConfig()
     sensors, places, si = build_table1_topology()
     # Three gateways; initial places A, B, C (they will be moved by MLR).
     gw_positions = np.asarray([places.position(p) for p in ("A", "B", "C")])

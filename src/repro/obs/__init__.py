@@ -23,6 +23,10 @@ still pending — a checkable (and, under audit mode, enforced) invariant:
     :class:`FaultWindow` / :class:`RecoveryReport` — join the fault
     injector's outage timeline against the ledger's delivery record for
     MTTR, availability and downtime accounting.
+:mod:`repro.obs.merge`
+    :func:`merge_collectors` / :func:`merge_ledgers` — fold per-shard
+    collectors and ledgers (:mod:`repro.shard`) into one conserving
+    whole-run view; the cross-shard conservation oracle.
 
 Enable enforcement per world (``WorldBuilder().audit()``), per collector
 (``MetricsCollector(audit=True)``) or globally (``REPRO_AUDIT=1``).
@@ -30,6 +34,7 @@ Enable enforcement per world (``WorldBuilder().audit()``), per collector
 
 from repro.obs.audit import ConservationReport, assert_conserved, audit_collector
 from repro.obs.ledger import DatumState, LedgerEntry, PacketLedger, datum_key
+from repro.obs.merge import merge_collectors, merge_ledgers
 from repro.obs.recovery import FaultWindow, RecoveryReport, recovery_report
 
 __all__ = [
@@ -43,4 +48,6 @@ __all__ = [
     "FaultWindow",
     "RecoveryReport",
     "recovery_report",
+    "merge_collectors",
+    "merge_ledgers",
 ]

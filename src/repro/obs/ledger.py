@@ -135,6 +135,13 @@ class PacketLedger:
         #: Terminal drops reported after the datum already terminally
         #: dropped (two copies both hitting dead ends).
         self.extra_drops: Counter = Counter()
+        #: Terminal events on datum keys this ledger never generated —
+        #: in a sharded run a datum generated in shard A can deliver or
+        #: drop in shard B, whose ledger has no entry for it.  Each item
+        #: is ``(key, kind, time, reason, node)`` with ``kind`` one of
+        #: ``"delivered"``/``"dropped"``; :func:`repro.obs.merge.merge_ledgers`
+        #: reunites them with their generating shard's entries.
+        self.foreign: list[tuple[DatumKey, str, Optional[float], Optional[str], Optional[int]]] = []
 
     # ------------------------------------------------------------------
     # lifecycle hooks
@@ -172,6 +179,7 @@ class PacketLedger:
         entry = self.entries.get(key)
         if entry is None:
             self.unknown_delivered[key] += 1
+            self.foreign.append((key, "delivered", now, None, None))
             return
         if entry.state is DatumState.DELIVERED:
             entry.duplicates += 1
@@ -207,6 +215,7 @@ class PacketLedger:
             return False
         entry = self.entries.get(key)
         if entry is None:
+            self.foreign.append((key, "dropped", now, reason, node))
             return False
         if entry.state is DatumState.DELIVERED:
             self.late_drops[reason] += 1

@@ -150,4 +150,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"cache_hits={stats['cache_hits']} cache_misses={stats['cache_misses']} "
         f"events={stats['events_processed']} wall={stats['wall_clock_s']}s"
     )
+    lookups = stats["cache_hits"] + stats["cache_misses"]
+    if lookups:
+        print(
+            f"cache hit ratio: {stats['cache_hits']}/{lookups} "
+            f"({stats['cache_hits'] / lookups:.1%})"
+        )
+    simulated = [c.wall_clock_s for c in sweep.cells if not c.cache_hit]
+    if simulated:
+        print(
+            f"per-cell wall-clock (simulated): min={min(simulated):.3f}s "
+            f"mean={sum(simulated) / len(simulated):.3f}s max={max(simulated):.3f}s"
+        )
     return 0

@@ -45,10 +45,15 @@ def cache_key(
     hashed through their tagged :func:`~repro.sim.serialize.to_jsonable`
     form, so the instance and its jsonable round-trip produce the same
     key; tuple/list params keep their historical byte-identical encoding.
+
+    Execution-only knobs that cannot change results are stripped before
+    hashing: ``WorldConfig.shards`` selects *how many processes* run the
+    cell, and a sharded run replays bit-identically to a single-process
+    one, so both variants deliberately share one cache entry.
     """
     identity = {
         "experiment": experiment,
-        "params": params,
+        "params": _canonical(params),
         "seed": seed,
         "version": version if version is not None else _repro_version(),
     }
@@ -56,6 +61,30 @@ def cache_key(
         identity, sort_keys=True, separators=(",", ":"), default=_encode_param
     )
     return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _canonical(value):
+    """Recursively normalize a params value for hashing.
+
+    Dataclasses collapse to their tagged jsonable form (then recurse, so
+    nested configs normalize too); ``WorldConfig``-tagged dicts drop the
+    execution-only ``shards`` field.  Everything else passes through
+    untouched — unrecognized containers still fall back to
+    :func:`_encode_param` inside ``json.dumps``, preserving the
+    historical encoding byte-for-byte.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _canonical(to_jsonable(value))
+    if isinstance(value, dict):
+        out = {k: _canonical(v) for k, v in value.items()}
+        if out.get("__dataclass__") == "WorldConfig":
+            fields = out.get("fields")
+            if isinstance(fields, dict):
+                fields.pop("shards", None)
+        return out
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    return value
 
 
 def _encode_param(obj):

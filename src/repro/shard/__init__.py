@@ -1,0 +1,32 @@
+"""Conservative spatially-decomposed parallel simulation.
+
+Partitions the sensor field into contiguous column strips — one worker
+process per strip — and runs the existing :class:`~repro.sim.engine.
+Simulator` / :class:`~repro.sim.radio.Channel` / :class:`~repro.sim.
+state.NodeStateStore` stack unchanged inside each worker.  Only radio
+events whose source sits within one ``comm_range`` of a strip boundary
+cross processes: receptions bound for another shard ship as timestamped
+messages over multiprocessing pipes, alive flips of boundary-band nodes
+refresh the neighbors' halo mirrors, and a conservative null-message
+window protocol (lookahead = the airtime of the smallest frame) keeps
+every worker's event order identical to the single-process schedule —
+a sharded run replays bit-identically, which the digest-equality tests
+and the merged conservation ledger (:mod:`repro.obs.merge`) assert.
+
+Entry points: :class:`~repro.shard.runner.ShardWorkload` describes the
+deployment + traffic, :func:`~repro.shard.runner.run_sharded` executes
+it with ``WorldConfig(shards=N)`` workers (``shards=1`` falls back to
+the plain single-process path).
+"""
+
+from repro.shard.plan import ShardPlan, conservative_lookahead
+from repro.shard.runner import ShardRunResult, ShardWorkload, run_digest, run_sharded
+
+__all__ = [
+    "ShardPlan",
+    "conservative_lookahead",
+    "ShardRunResult",
+    "ShardWorkload",
+    "run_digest",
+    "run_sharded",
+]

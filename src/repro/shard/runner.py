@@ -1,0 +1,505 @@
+"""The sharded executor: workers, window protocol, merge, digest.
+
+One coordinator (the calling process) and ``shards`` workers.  Every
+worker builds the *identical* deterministic world — full field, same
+seed — then restricts itself to the nodes of its strip: only owned
+sources' traffic is scheduled, and the channel's ownership mask
+(:meth:`~repro.sim.radio.Channel.configure_sharding`) delivers fan-outs
+locally to owned receivers while exporting the rest as exact timestamped
+messages.  Replicating the world costs memory but buys bit-identity for
+free: positions, neighbor tables and float expressions are byte-for-byte
+the ones the single-process run uses.
+
+Window protocol (conservative, BSP)::
+
+    worker  -> ('ready', next_event_time)
+    coord   -> ('advance', grant, deliveries, alive_updates)   # repeated
+    worker  -> ('window', next_event_time, exports, alive_flips)
+    coord   -> ('finish',)
+    worker  -> ('done', metrics, (tx, rx), events_processed, wall_s)
+
+``grant = horizon + lookahead`` where ``horizon`` is the minimum of all
+workers' next event times and all not-yet-injected message arrivals, and
+the lookahead is :func:`~repro.shard.plan.conservative_lookahead`.  A
+frame sent at ``t >= horizon`` arrives at ``t + lookahead >= grant``, so
+exports collected at a barrier are never in any worker's past: workers
+run ``sim.run(until=grant, inclusive=False)`` (events strictly before
+the grant) and the coordinator injects each export exactly once, in the
+first window after it surfaced.
+
+Bit-identity has one measure-zero caveat: events that tie to the exact
+same float timestamp execute in sequence order, and sequence numbers are
+per-worker — cross-shard same-timestamp ties may order differently than
+the single-process run.  Uniform random deployments never produce such
+ties; grid deployments can.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.baselines.flooding import Flooding
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.obs.audit import ConservationReport, assert_conserved, audit_collector
+from repro.obs.merge import merge_collectors
+from repro.shard.plan import ShardPlan, conservative_lookahead
+from repro.sim.radio import IEEE802154, RadioConfig
+from repro.sim.spatial import CellGrid
+from repro.sim.trace import MetricsCollector, audit_default
+from repro.world import WorldBuilder, WorldConfig
+
+__all__ = ["ShardRunResult", "ShardWorkload", "run_digest", "run_sharded"]
+
+#: Protocols whose sharded execution is bit-identical: broadcast-routed
+#: and draw-free under an ideal radio.  Gossiping draws from the shared
+#: RNG per hop — per-worker streams would diverge — and the discovery
+#: protocols route over cross-shard unicast state; neither is supported.
+_SHARD_SAFE_PROTOCOLS = {"flooding": Flooding}
+
+
+@dataclass
+class ShardWorkload:
+    """A deployment plus its full traffic schedule, executor-agnostic.
+
+    ``traffic`` is the *global* list of ``(time, source)`` datum
+    originations; each worker schedules only the sources it owns, the
+    single-process leg schedules all of them — both label datum ``i``
+    with ``data_id == i + 1``, so ``(origin, data_id)`` identities match
+    across legs bit-for-bit.
+    """
+
+    sensor_positions: np.ndarray
+    gateway_positions: np.ndarray
+    comm_range: float
+    traffic: tuple
+    world: WorldConfig = field(default_factory=WorldConfig)
+    radio: RadioConfig = field(default_factory=IEEE802154.ideal)
+    protocol: str = "flooding"
+    protocol_params: dict = field(default_factory=dict)
+    sensor_battery: float = math.inf
+    seed: int = 0
+
+    @property
+    def positions(self) -> np.ndarray:
+        """All node positions, sensors first then gateways — the id
+        order :func:`~repro.sim.network.build_sensor_network` uses."""
+        return np.vstack(
+            [
+                np.asarray(self.sensor_positions, dtype=float),
+                np.asarray(self.gateway_positions, dtype=float),
+            ]
+        )
+
+
+@dataclass
+class ShardRunResult:
+    """Merged outcome of one (sharded or single-process) execution."""
+
+    shards: int
+    metrics: MetricsCollector
+    events_processed: int
+    wall_clock_s: float
+    windows: int
+    digest: str
+    conservation: Optional[ConservationReport] = None
+    #: per-shard ``{"shard", "events_processed", "wall_clock_s"}`` rows
+    parts: list = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# the order-canonical digest
+# ----------------------------------------------------------------------
+def run_digest(metrics: MetricsCollector, node_counts: tuple) -> str:
+    """SHA-256 over the run's observable outcome, canonicalized.
+
+    Covers per-kind frame counters, drop reasons, byte/datum totals, the
+    first delivery of every datum (chosen by ``(delivered_at,
+    destination)`` so list order is irrelevant), first death, and
+    per-node tx/rx counts.  Floats are hex-formatted — bit-identical or
+    nothing.  Deliberately excludes ``events_processed`` (batching and
+    window re-parking repackage the same work into different event
+    counts) and float energy sums (addition order across same-time
+    receptions is unobservable).
+    """
+    tx, rx = node_counts
+    firsts: dict[tuple, tuple] = {}
+    for r in metrics.deliveries:
+        key = (r.origin, r.uid)
+        cand = (r.delivered_at, r.destination, r.hops, r.latency, r.created_at)
+        prev = firsts.get(key)
+        if prev is None or (cand[0], cand[1]) < (prev[0], prev[1]):
+            firsts[key] = cand
+    first_death = metrics.first_death
+    obj = {
+        "sent": {k.name: v for k, v in sorted(metrics.sent.items(), key=lambda kv: kv[0].name)},
+        "received": {
+            k.name: v for k, v in sorted(metrics.received.items(), key=lambda kv: kv[0].name)
+        },
+        "drops": dict(sorted(metrics.drops.items())),
+        "bytes_sent": metrics.bytes_sent,
+        "data_generated": metrics.data_generated,
+        "control_frames": metrics.control_frames,
+        "data_frames": metrics.data_frames,
+        "deliveries": [
+            [o, u, float(t).hex(), d, h, float(lat).hex(), float(c).hex()]
+            for (o, u), (t, d, h, lat, c) in sorted(firsts.items())
+        ],
+        "first_death": (
+            None if first_death is None else [int(first_death[0]), float(first_death[1]).hex()]
+        ),
+        "tx": [int(v) for v in tx],
+        "rx": [int(v) for v in rx],
+    }
+    blob = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# validation and world construction
+# ----------------------------------------------------------------------
+def _want_audit(cfg: WorldConfig) -> bool:
+    return cfg.audit if cfg.audit is not None else audit_default()
+
+
+def _validate(workload: ShardWorkload, shards: int) -> None:
+    if not isinstance(shards, int) or shards < 1:
+        raise ConfigurationError(f"shards must be a positive integer, got {shards!r}")
+    if workload.protocol not in _SHARD_SAFE_PROTOCOLS:
+        raise ConfigurationError(
+            f"protocol {workload.protocol!r} is not shard-safe; supported: "
+            f"{sorted(_SHARD_SAFE_PROTOCOLS)} (gossiping/discovery draw RNG "
+            "or route over cross-shard state in global event order)"
+        )
+    if shards == 1:
+        return
+    cfg = workload.world
+    if not cfg.soa:
+        raise ConfigurationError(
+            "sharded execution requires soa=True (halo alive mirroring and "
+            "per-node counters live on the struct-of-arrays store)"
+        )
+    if cfg.faults is not None:
+        raise ConfigurationError(
+            "sharded execution cannot arm a fault plan: the injector would "
+            "fire on every shard's replicated copy of a node"
+        )
+    radio = workload.radio
+    if radio.csma or radio.collisions:
+        raise ConfigurationError(
+            "sharded execution requires csma=False and collisions=False "
+            "(the medium is global state)"
+        )
+    if radio.loss_rate > 0.0 or radio.burst is not None:
+        raise ConfigurationError(
+            "sharded execution requires a lossless radio: loss draws consume "
+            "the RNG stream in global event order"
+        )
+
+
+def _build_worker_world(workload: ShardWorkload, defer_audit: bool):
+    """Build the full deterministic world one worker (or the single leg) runs.
+
+    ``defer_audit`` builds with auditing disabled and re-enables the
+    ledger afterwards *without* the strict idle hook: a worker's local
+    quiescence mid-window says nothing about cross-shard in-flight data,
+    so only the merged ledger is audited (once, at the coordinator).
+    """
+    cfg = workload.world.replace(shards=1)
+    want_audit = _want_audit(cfg)
+    if defer_audit:
+        cfg = cfg.replace(audit=False)
+    world = (
+        WorldBuilder()
+        .seed(workload.seed)
+        .sensors(np.asarray(workload.sensor_positions, dtype=float))
+        .gateways(np.asarray(workload.gateway_positions, dtype=float))
+        .comm_range(workload.comm_range)
+        .sensor_battery(workload.sensor_battery)
+        .radio(workload.radio)
+        .configure(cfg)
+        .build()
+    )
+    if defer_audit and want_audit:
+        world.metrics.enable_audit()
+    proto = world.attach(_SHARD_SAFE_PROTOCOLS[workload.protocol], **workload.protocol_params)
+    return world, proto
+
+
+# ----------------------------------------------------------------------
+# the worker process
+# ----------------------------------------------------------------------
+def _worker_main(conn, workload: ShardWorkload, shard_id: int, plan: ShardPlan) -> None:
+    try:
+        _worker_loop(conn, workload, shard_id, plan)
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _worker_loop(conn, workload: ShardWorkload, shard_id: int, plan: ShardPlan) -> None:
+    t0 = time.perf_counter()
+    positions = workload.positions
+    owned = plan.owner_of(positions) == shard_id
+    interior = plan.interior_mask(positions, shard_id)
+    world, proto = _build_worker_world(workload, defer_audit=True)
+    sim, channel, network = world.sim, world.channel, world.network
+    channel.configure_sharding(owned, interior)
+    for i, (when, src) in enumerate(workload.traffic):
+        if owned[src]:
+            sim.schedule_at(float(when), proto.send_data, int(src), None, i + 1)
+
+    # Watch set: owned nodes whose aliveness other shards can observe —
+    # everything in the comm_range band around this strip's boundary.
+    grid = CellGrid(positions, workload.comm_range)
+    band = grid.cells_in_band(plan.strip_rect(shard_id), workload.comm_range)
+    watch = [int(i) for i in band if owned[i]]
+    nodes = network.nodes
+    alive_now = {i: bool(nodes[i].alive) for i in watch}
+
+    conn.send(("ready", sim.next_event_time))
+    while True:
+        msg = conn.recv()
+        if msg[0] == "finish":
+            break
+        _, grant, deliveries, alive_updates = msg
+        if alive_updates:
+            network.store.mirror_alive(
+                [i for i, _ in alive_updates], [up for _, up in alive_updates]
+            )
+        for arrive, receiver, sender, packet, attempt in deliveries:
+            channel.deliver_remote(arrive, receiver, sender, packet, attempt)
+        sim.run(until=grant, inclusive=False)
+        flips = []
+        for i in watch:
+            up = bool(nodes[i].alive)
+            if up != alive_now[i]:
+                alive_now[i] = up
+                flips.append((i, up))
+        conn.send(("window", sim.next_event_time, channel.take_shard_exports(), flips))
+
+    tx, rx = network.store.counter_columns()
+    conn.send(
+        (
+            "done",
+            world.metrics,
+            (tx.tolist(), rx.tolist()),
+            sim.events_processed,
+            time.perf_counter() - t0,
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# the coordinator
+# ----------------------------------------------------------------------
+def _mp_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+def _recv(conn):
+    msg = conn.recv()
+    if msg[0] == "error":
+        raise SimulationError("shard worker failed:\n" + msg[1])
+    return msg
+
+
+def _run_single(workload: ShardWorkload) -> ShardRunResult:
+    """The ``shards=1`` leg: exactly the existing single-process path."""
+    t0 = time.perf_counter()
+    world, proto = _build_worker_world(workload, defer_audit=False)
+    for i, (when, src) in enumerate(workload.traffic):
+        world.sim.schedule_at(float(when), proto.send_data, int(src), None, i + 1)
+    world.sim.run()
+    metrics = world.metrics
+    tx, rx = world.network.store.counter_columns()
+    conservation = None
+    if metrics.ledger is not None:
+        conservation = audit_collector(metrics, strict=True)
+    return ShardRunResult(
+        shards=1,
+        metrics=metrics,
+        events_processed=world.sim.events_processed,
+        wall_clock_s=time.perf_counter() - t0,
+        windows=0,
+        digest=run_digest(metrics, (tx.tolist(), rx.tolist())),
+        conservation=conservation,
+        parts=[
+            {
+                "shard": 0,
+                "events_processed": world.sim.events_processed,
+                "wall_clock_s": time.perf_counter() - t0,
+            }
+        ],
+    )
+
+
+def run_sharded(
+    workload: ShardWorkload,
+    shards: Optional[int] = None,
+    trace_path: Optional[str] = None,
+    max_windows: Optional[int] = None,
+) -> ShardRunResult:
+    """Execute ``workload`` across ``shards`` worker processes.
+
+    ``shards`` defaults to ``workload.world.shards``; ``1`` runs the
+    plain single-process path (same digest, same cache identity).  Under
+    audit mode the merged ledger is strictly audited at the end — a
+    violation raises :class:`~repro.exceptions.ConservationError`, the
+    same contract the single-process idle hook enforces at quiescence.
+    ``max_windows`` guards against livelock in the window protocol
+    (default: one million barriers).  ``trace_path`` writes a JSON cell
+    record at the path plus one fragment per shard
+    (``<stem>.shardNN<suffix>``).
+    """
+    if shards is None:
+        shards = workload.world.shards
+    _validate(workload, shards)
+    if shards == 1:
+        result = _run_single(workload)
+        if trace_path is not None:
+            _write_trace(trace_path, result)
+        return result
+
+    t0 = time.perf_counter()
+    positions = workload.positions
+    plan = ShardPlan.build(positions, workload.comm_range, shards)
+    owners = plan.owner_of(positions)
+    xs = positions[:, 0]
+    lookahead = conservative_lookahead(workload.radio)
+    limit = 1_000_000 if max_windows is None else max_windows
+
+    ctx = _mp_context()
+    pipes, procs = [], []
+    try:
+        for s in range(shards):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main, args=(child, workload, s, plan), daemon=True
+            )
+            proc.start()
+            child.close()
+            pipes.append(parent)
+            procs.append(proc)
+
+        nexts = [_recv(conn)[1] for conn in pipes]
+        pending: list[list] = [[] for _ in range(shards)]
+        pending_alive: list[list] = [[] for _ in range(shards)]
+        in_flight: list[float] = []
+        windows = 0
+        while True:
+            horizon = math.inf
+            for t in nexts:
+                if t is not None and t < horizon:
+                    horizon = t
+            for t in in_flight:
+                if t < horizon:
+                    horizon = t
+            if not math.isfinite(horizon):
+                break
+            windows += 1
+            if windows > limit:
+                raise SimulationError(
+                    f"sharded run exceeded {limit} windows at t={horizon} — livelock?"
+                )
+            grant = horizon + lookahead
+            for s, conn in enumerate(pipes):
+                conn.send(("advance", grant, pending[s], pending_alive[s]))
+            pending = [[] for _ in range(shards)]
+            pending_alive = [[] for _ in range(shards)]
+            in_flight = []
+            for s, conn in enumerate(pipes):
+                msg = _recv(conn)
+                nexts[s] = msg[1]
+                for exp in msg[2]:
+                    pending[int(owners[exp[1]])].append(exp)
+                    in_flight.append(exp[0])
+                for node, up in msg[3]:
+                    for h in plan.halo_shards(float(xs[node])):
+                        if h != s:
+                            pending_alive[h].append((node, up))
+            for lst in pending:
+                # Deterministic injection order regardless of which
+                # shard reported first: by (arrive, receiver).
+                lst.sort(key=lambda e: (e[0], e[1]))
+            for lst in pending_alive:
+                lst.sort()
+
+        for conn in pipes:
+            conn.send(("finish",))
+        payloads = [_recv(conn) for conn in pipes]
+        for proc in procs:
+            proc.join(timeout=60)
+    finally:
+        for proc in procs:
+            if proc.is_alive():  # pragma: no cover - crash cleanup
+                proc.terminate()
+        for conn in pipes:
+            conn.close()
+
+    collectors = [p[1] for p in payloads]
+    tx = np.sum([np.asarray(p[2][0], dtype=np.int64) for p in payloads], axis=0)
+    rx = np.sum([np.asarray(p[2][1], dtype=np.int64) for p in payloads], axis=0)
+    merged = merge_collectors(collectors)
+    conservation = None
+    if merged.ledger is not None:
+        conservation = assert_conserved(merged, strict=True)
+    result = ShardRunResult(
+        shards=shards,
+        metrics=merged,
+        events_processed=sum(p[3] for p in payloads),
+        wall_clock_s=time.perf_counter() - t0,
+        windows=windows,
+        digest=run_digest(merged, (tx.tolist(), rx.tolist())),
+        conservation=conservation,
+        parts=[
+            {"shard": s, "events_processed": p[3], "wall_clock_s": p[4]}
+            for s, p in enumerate(payloads)
+        ],
+    )
+    if trace_path is not None:
+        _write_trace(trace_path, result)
+    return result
+
+
+# ----------------------------------------------------------------------
+# trace output
+# ----------------------------------------------------------------------
+def _cell_record(result: ShardRunResult) -> dict:
+    rec: dict[str, Any] = {
+        "shards": result.shards,
+        "digest": result.digest,
+        "events_processed": result.events_processed,
+        "wall_clock_s": result.wall_clock_s,
+        "windows": result.windows,
+        "summary": result.metrics.summary(),
+    }
+    if result.conservation is not None:
+        rec["conservation"] = result.conservation.to_jsonable()
+    return rec
+
+
+def _write_trace(path: str, result: ShardRunResult) -> None:
+    """One merged cell record at ``path``, one fragment per shard."""
+    import pathlib
+
+    p = pathlib.Path(path)
+    p.write_text(json.dumps(_cell_record(result), indent=2, sort_keys=True) + "\n")
+    for part in result.parts:
+        frag = p.with_name(f"{p.stem}.shard{part['shard']:02d}{p.suffix}")
+        frag.write_text(json.dumps(part, indent=2, sort_keys=True) + "\n")

@@ -182,6 +182,12 @@ class Channel:
         self._buf: list[tuple] = []
         self._pos = 0
         self._pump_event = None
+        # Sharded execution (repro.shard): when configured, fan-outs
+        # deliver only to owned receivers; receptions bound for other
+        # shards are exported as timestamped messages instead.
+        self._shard_owned: Optional[np.ndarray] = None
+        self._shard_interior: Optional[np.ndarray] = None
+        self._shard_out: list[tuple] = []
         # Gilbert–Elliott chain state per directed link: True = bad
         # (inside a burst).  Links start in the model's ``start_bad``
         # state on first use; state survives config swaps so a
@@ -220,6 +226,100 @@ class Channel:
             states[key] = bad
             lost.append(bool(draws[i, 1] < (ge.loss_bad if bad else ge.loss_good)))
         return lost
+
+    # ------------------------------------------------------------------
+    # sharded execution (spatial domain decomposition, repro.shard)
+    # ------------------------------------------------------------------
+    def configure_sharding(
+        self, owned: np.ndarray, interior: Optional[np.ndarray] = None
+    ) -> None:
+        """Restrict local delivery to ``owned`` nodes, exporting the rest.
+
+        ``owned`` is a boolean mask over node ids: fan-outs deliver to
+        owned receivers through the normal paths, while receptions bound
+        for non-owned nodes are appended to the export buffer as exact
+        ``(arrive_time, receiver, sender, packet, attempt)`` tuples —
+        the event times the single-process schedule would have used,
+        computed with the same float expressions.  Fan-out membership is
+        position-only (:meth:`Network.neighbors` ignores liveness — dead
+        receivers drop at delivery time), so exports never depend on the
+        halo mirror's alive staleness; the owning shard's delivery path
+        applies the authoritative alive check.  ``interior``
+        optionally marks owned senders whose whole neighborhood is owned
+        (one ``cells_in_band`` query per shard); their fan-outs skip the
+        ownership mask entirely.
+
+        Only draw-free radios can shard: loss draws, burst chains and
+        medium observation consume the global RNG stream / medium state
+        in cross-shard-visible order, which no conservative protocol can
+        reproduce locally.
+        """
+        if self._medium_observed:
+            raise ConfigurationError(
+                "sharded execution requires csma=False and collisions=False "
+                "(the medium is global state)"
+            )
+        if self.config.loss_rate > 0.0 or self.config.burst is not None:
+            raise ConfigurationError(
+                "sharded execution requires a lossless radio: loss draws "
+                "consume the RNG stream in global event order"
+            )
+        self._shard_owned = np.asarray(owned, dtype=bool)
+        self._shard_interior = (
+            None if interior is None else np.asarray(interior, dtype=bool)
+        )
+
+    def take_shard_exports(self) -> list[tuple]:
+        """Drain and return receptions exported since the last call."""
+        out = self._shard_out
+        self._shard_out = []
+        return out
+
+    def deliver_remote(
+        self, arrive: float, receiver: int, sender: int, packet: Packet, attempt: int = 0
+    ) -> None:
+        """Inject a reception exported by another shard.
+
+        Scheduled at the exact absolute ``arrive`` time the exporting
+        shard computed, through :meth:`_deliver_direct` — the same
+        terminal path an ideal-radio reception takes locally, so energy
+        charges, death handling and metrics are bit-identical.
+        """
+        self.sim.schedule_at(arrive, self._deliver_direct, receiver, packet, sender, attempt)
+
+    def _shard_split(
+        self, sender: int, packet: Packet, attempt: int,
+        neighbors: np.ndarray, start: float, end: float,
+    ) -> Optional[np.ndarray]:
+        """Partition a fan-out into locally-delivered and exported parts.
+
+        Returns the owned neighbor subset to fan out locally, or ``None``
+        when nothing local remains to do (a unicast whose destination was
+        exported).  Export times replicate the delivery schedule's float
+        expression ``((end + prop) - now) + now`` elementwise.
+        """
+        owned = self._shard_owned
+        mask = owned[neighbors]
+        if mask.all():
+            return neighbors
+        if packet.dst is not None:
+            # Unicast: only the destination ever receives under an ideal
+            # radio (non-intended neighbors observe nothing).  A remote
+            # destination ships as one message; an absent one falls
+            # through so the local fan-out records the no_link drop.
+            if not owned[packet.dst] and bool((neighbors == packet.dst).any()):
+                prop = self.network.distance(sender, packet.dst) / _SPEED_OF_LIGHT
+                arrive = ((end + prop) - start) + start
+                self._shard_out.append((arrive, int(packet.dst), sender, packet, attempt))
+                return None
+            return neighbors[mask]
+        remote = neighbors[~mask]
+        props = self.network.distances_from(sender, remote) / _SPEED_OF_LIGHT
+        times = ((end + props) - start) + start
+        out = self._shard_out
+        for arrive, nb in zip(times.tolist(), remote.tolist()):
+            out.append((arrive, nb, sender, packet, attempt))
+        return neighbors[mask]
 
     # ------------------------------------------------------------------
     def send(self, sender: int, packet: Packet) -> bool:
@@ -289,6 +389,12 @@ class Channel:
         self.metrics.on_send(packet)
 
         neighbors = self.network.neighbors(sender)
+        if self._shard_owned is not None and (
+            self._shard_interior is None or not self._shard_interior[sender]
+        ):
+            neighbors = self._shard_split(sender, packet, attempt, neighbors, start, end)
+            if neighbors is None:
+                return
         if self._batched and packet.dst is None:
             self._fanout_batched(sender, packet, neighbors, start, end)
         elif self.vectorized:
@@ -586,16 +692,21 @@ class Channel:
             horizon = math.inf
         inf_key = (math.inf, 0)
         maxseq = sim.seq_marker + (1 << 32)  # beyond any live seq
+        # Exclusive horizons (conservative shard windows) must park even
+        # the entries *at* the bound: their horizon key sorts before any
+        # live seq, so the lexicographic min below excludes them.
+        hseq = -1 if sim.horizon_exclusive else maxseq
         received = metrics.received
         on_drop = metrics.on_drop
 
-        # Run bound: min(engine top, horizon).  Horizon wins only when
-        # strictly earlier — a live event at the horizon still precedes
-        # parked entries with the same time and a later seq.
+        # Run bound: min(engine top, horizon key).  An inclusive horizon
+        # wins only when strictly earlier — a live event at the horizon
+        # still precedes parked entries with the same time and a later
+        # seq; an exclusive horizon wins ties too.
         top = peek() or inf_key
-        if horizon < top[0]:
+        if horizon < top[0] or (horizon == top[0] and hseq < top[1]):
             bt = horizon
-            bs = maxseq
+            bs = hseq
         else:
             bt = top[0]
             bs = top[1]
@@ -636,9 +747,9 @@ class Channel:
                         seq_mark = sim._seq
                         tk = q[0]
                         top = tk if not tk[2].cancelled else (peek() or inf_key)
-                        if horizon < top[0]:
+                        if horizon < top[0] or (horizon == top[0] and hseq < top[1]):
                             bt = horizon
-                            bs = maxseq
+                            bs = hseq
                         else:
                             bt = top[0]
                             bs = top[1]
@@ -666,9 +777,9 @@ class Channel:
                         seq_mark = sim._seq
                         tk = q[0]
                         top = tk if not tk[2].cancelled else (peek() or inf_key)
-                        if horizon < top[0]:
+                        if horizon < top[0] or (horizon == top[0] and hseq < top[1]):
                             bt = horizon
-                            bs = maxseq
+                            bs = hseq
                         else:
                             bt = top[0]
                             bs = top[1]

@@ -227,6 +227,20 @@ class NodeStateStore:
         self.sleeping[i] = value
         self.refresh_alive(i)
 
+    def mirror_alive(self, ids: Sequence[int], alive: Sequence[bool]) -> None:
+        """Apply authoritative liveness to halo-mirror rows (repro.shard).
+
+        A sharded worker's rows for nodes owned by *other* shards are
+        read-only replicas: no local event ever charges or kills them, so
+        their liveness must be imported.  The update funnels through the
+        ``failed`` flag and :meth:`refresh_alive` — the same
+        edge-detected listener path local flips take — so the network's
+        maintained alive mask and cached graphs stay consistent.
+        """
+        for i, up in zip(ids, alive):
+            self.failed[i] = not up
+            self.refresh_alive(i)
+
     def _kill_battery(self, i: int, now: float) -> None:
         """Battery exhaustion: matches ``EnergyAccount._drain``'s death arm."""
         self.remaining[i] = 0.0

@@ -100,6 +100,18 @@ class WorldConfig:
     faults:
         Optional :class:`~repro.faults.plan.FaultPlan` (or its jsonable
         form) armed on the built world.
+    shards:
+        Number of worker processes a sharded execution decomposes the
+        field into (:mod:`repro.shard`; ``1`` = ordinary in-process
+        execution).  Like every other toggle this selects *how* the
+        world runs, never *what* it computes — a sharded run replays
+        bit-identically to the single-process one, which is why the
+        runner's cache key deliberately ignores it (sharded and
+        single-process cells share cache entries).  Direct
+        :class:`WorldBuilder` builds record the value but always build
+        the in-process stack; :func:`repro.shard.run_sharded` and the
+        experiments that support sharding are the executors that honor
+        it.
     """
 
     vectorized: bool = True
@@ -107,12 +119,17 @@ class WorldConfig:
     spatial_index: str = "grid"
     audit: Optional[bool] = None
     faults: Optional[Any] = None
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.spatial_index not in SPATIAL_INDEXES:
             raise ConfigurationError(
                 f"unknown spatial index {self.spatial_index!r}; "
                 f"choose from {SPATIAL_INDEXES}"
+            )
+        if not isinstance(self.shards, int) or isinstance(self.shards, bool) or self.shards < 1:
+            raise ConfigurationError(
+                f"shards must be a positive integer, got {self.shards!r}"
             )
         if self.faults is not None:
             from repro.faults.plan import FaultPlan  # deferred: faults builds worlds

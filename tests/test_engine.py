@@ -112,6 +112,42 @@ def test_run_until_is_repeatable_like_a_clock():
     assert sim.now == 2.0
 
 
+def test_run_exclusive_parks_events_at_the_bound():
+    sim = Simulator(seed=0)
+    fired = []
+    sim.schedule_at(1.0, fired.append, "a")
+    sim.schedule_at(2.0, fired.append, "b")
+    sim.run(until=2.0, inclusive=False)
+    assert fired == ["a"]  # the event AT the bound stays queued
+    assert sim.now == 2.0
+    assert sim.next_event_time == 2.0
+    # Scheduling at now (== the previous exclusive bound) is legal and
+    # FIFO order among the t=2.0 events is preserved.
+    sim.schedule_at(2.0, fired.append, "c")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_run_inclusive_default_executes_the_bound():
+    sim = Simulator(seed=0)
+    fired = []
+    sim.schedule_at(2.0, fired.append, "b")
+    sim.run(until=2.0)
+    assert fired == ["b"]
+
+
+def test_next_event_time_tracks_queue():
+    sim = Simulator(seed=0)
+    assert sim.next_event_time is None
+    ev = sim.schedule_at(3.0, lambda: None)
+    sim.schedule_at(5.0, lambda: None)
+    assert sim.next_event_time == 3.0
+    ev.cancel()
+    assert sim.next_event_time == 5.0
+    sim.run()
+    assert sim.next_event_time is None
+
+
 def test_max_events_safety_valve():
     sim = Simulator(seed=0)
 

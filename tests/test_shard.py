@@ -1,0 +1,375 @@
+"""The sharded executor: partition, validation, bit-identity, merging.
+
+The load-bearing property is *execution-strategy transparency*: a run
+with ``WorldConfig(shards=N)`` must be indistinguishable from the
+single-process run on every observable — the order-canonical digest
+(frame counters, drops, first deliveries, first death, per-node tx/rx)
+and the conservation report of the merged per-shard ledgers.  The unit
+tests pin the strip partition, the shard-safety validation and the
+ledger merge's cross-shard semantics; the integration tests replay the
+same workload at 1/2/3 workers and assert digest equality, with and
+without battery deaths.
+"""
+
+import dataclasses
+import math
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.obs.ledger import DatumState, PacketLedger
+from repro.obs.merge import merge_collectors, merge_ledgers
+from repro.runner.spec import cache_key
+from repro.shard import (
+    ShardPlan,
+    ShardWorkload,
+    conservative_lookahead,
+    run_sharded,
+)
+from repro.sim.network import uniform_deployment
+from repro.sim.packet import MAC_HEADER_BYTES, Packet, PacketKind
+from repro.sim.radio import IEEE802154
+from repro.sim.trace import MetricsCollector
+from repro.world import WorldConfig
+
+
+def _data_packet(origin: int, data_id: int) -> Packet:
+    return Packet(
+        kind=PacketKind.DATA, origin=origin, target=None,
+        payload={"data_id": data_id},
+    )
+
+
+def _workload(
+    n=150, field=200.0, comm_range=40.0, datums=12, battery=math.inf,
+    seed=3, audit=True,
+):
+    positions = uniform_deployment(n, field, seed=seed)
+    gateways = np.asarray([[0.3 * field, 0.5 * field], [0.8 * field, 0.6 * field]])
+    sources = [int(k * n / datums) for k in range(datums)]
+    traffic = tuple((0.5 + 0.2 * k, s) for k, s in enumerate(sources))
+    return ShardWorkload(
+        sensor_positions=positions,
+        gateway_positions=gateways,
+        comm_range=comm_range,
+        traffic=traffic,
+        world=WorldConfig(audit=audit),
+        sensor_battery=battery,
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# lookahead and the strip partition
+# ----------------------------------------------------------------------
+class TestPlan:
+    def test_lookahead_is_header_airtime(self):
+        radio = IEEE802154.ideal()
+        assert conservative_lookahead(radio) == radio.airtime(8 * MAC_HEADER_BYTES)
+        assert conservative_lookahead(radio) > 0.0
+
+    def test_ownership_is_a_balanced_partition(self):
+        pos = uniform_deployment(400, 300.0, seed=1)
+        plan = ShardPlan.build(pos, 30.0, 4)
+        owners = plan.owner_of(pos)
+        counts = np.bincount(owners, minlength=4)
+        assert counts.sum() == 400
+        assert counts.min() >= 90  # quantile cuts stay roughly balanced
+        # Strips are contiguous in x: sorting by x never decreases owner.
+        order = np.argsort(pos[:, 0], kind="stable")
+        assert (np.diff(owners[order]) >= 0).all()
+
+    def test_ties_on_a_cut_go_right(self):
+        pos = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0], [3.0, 0.0]])
+        plan = ShardPlan.build(pos, 1.0, 2)
+        (cut,) = plan.cuts
+        assert plan.owner_of(np.array([[cut, 5.0]]))[0] == 1
+
+    def test_interior_mask_is_strict(self):
+        pos = uniform_deployment(200, 300.0, seed=2)
+        plan = ShardPlan.build(pos, 40.0, 2)
+        interior = plan.interior_mask(pos, 0)
+        owners = plan.owner_of(pos)
+        (cut,) = plan.cuts
+        for i in range(200):
+            expect = owners[i] == 0 and (cut - pos[i, 0]) > 40.0
+            assert bool(interior[i]) == expect
+
+    def test_halo_shards_cover_reachable_strips(self):
+        pos = uniform_deployment(300, 300.0, seed=4)
+        plan = ShardPlan.build(pos, 30.0, 3)
+        for x in (0.0, plan.cuts[0], plan.cuts[0] - 29.0, plan.cuts[1] + 29.0, 300.0):
+            halos = plan.halo_shards(float(x))
+            owner = int(plan.owner_of(np.array([[x, 0.0]]))[0])
+            assert owner in halos
+            for s in halos:
+                lo, hi = plan.strip_bounds(s)
+                assert lo <= x + 30.0 and hi > x - 30.0
+
+    def test_strip_rect_is_clipped_to_field(self):
+        pos = uniform_deployment(100, 200.0, seed=5)
+        plan = ShardPlan.build(pos, 20.0, 2)
+        x0, y0, x1, y1 = plan.strip_rect(0)
+        assert math.isfinite(x0) and math.isfinite(x1)
+        assert x0 == plan.bounds[0] and x1 == plan.cuts[0]
+
+    def test_build_rejects_degenerate_inputs(self):
+        pos = uniform_deployment(10, 100.0, seed=0)
+        with pytest.raises(ConfigurationError, match="non-empty strips"):
+            ShardPlan.build(pos, 10.0, 11)
+        with pytest.raises(ConfigurationError, match="comm_range"):
+            ShardPlan.build(pos, 0.0, 2)
+        # All x identical: either the quantile cuts collide or a strip
+        # ends up empty — both are partition failures.
+        clustered = np.column_stack([np.zeros(8), np.arange(8.0)])
+        with pytest.raises(ConfigurationError, match="clustered|empty"):
+            ShardPlan.build(clustered, 10.0, 2)
+
+
+# ----------------------------------------------------------------------
+# shard-safety validation
+# ----------------------------------------------------------------------
+class TestValidation:
+    def test_rejects_non_shard_safe_protocol(self):
+        w = dataclasses.replace(_workload(), protocol="gossiping")
+        with pytest.raises(ConfigurationError, match="not shard-safe"):
+            run_sharded(w, shards=2)
+
+    def test_rejects_object_path(self):
+        w = _workload()
+        w.world = WorldConfig(soa=False)
+        with pytest.raises(ConfigurationError, match="soa=True"):
+            run_sharded(w, shards=2)
+
+    def test_rejects_fault_plans(self):
+        from repro.faults.plan import Crash, FaultPlan
+
+        w = _workload()
+        w.world = WorldConfig(faults=FaultPlan((Crash(node=0, t=1.0),)))
+        with pytest.raises(ConfigurationError, match="fault plan"):
+            run_sharded(w, shards=2)
+
+    def test_rejects_contended_or_lossy_radio(self):
+        for bad in (
+            dataclasses.replace(IEEE802154.ideal(), csma=True),
+            dataclasses.replace(IEEE802154.ideal(), collisions=True),
+            dataclasses.replace(IEEE802154.ideal(), loss_rate=0.1),
+        ):
+            w = dataclasses.replace(_workload(), radio=bad)
+            with pytest.raises(ConfigurationError):
+                run_sharded(w, shards=2)
+
+    def test_worldconfig_validates_shards(self):
+        assert WorldConfig(shards=4).shards == 4
+        for bad in (0, -1, True, 1.5, "2"):
+            with pytest.raises(ConfigurationError):
+                WorldConfig(shards=bad)
+
+
+# ----------------------------------------------------------------------
+# cache-key neutrality: shards is an execution knob, not an identity
+# ----------------------------------------------------------------------
+class TestCacheKey:
+    def test_shards_does_not_change_the_cache_key(self):
+        base = cache_key("e", {"world": WorldConfig()}, 0, version="t")
+        assert cache_key("e", {"world": WorldConfig(shards=4)}, 0, version="t") == base
+        # ... in jsonable-dict form too (how swept params arrive).
+        from repro.sim.serialize import to_jsonable
+
+        j1 = cache_key("e", {"world": to_jsonable(WorldConfig())}, 0, version="t")
+        j4 = cache_key("e", {"world": to_jsonable(WorldConfig(shards=4))}, 0, version="t")
+        assert j1 == j4 == base
+
+    def test_real_execution_knobs_still_separate(self):
+        base = cache_key("e", {"world": WorldConfig()}, 0, version="t")
+        other = cache_key("e", {"world": WorldConfig(audit=True)}, 0, version="t")
+        assert base != other
+
+
+# ----------------------------------------------------------------------
+# ledger merging across shards
+# ----------------------------------------------------------------------
+class TestMergeLedgers:
+    def test_generated_in_a_delivered_in_b(self):
+        a, b = PacketLedger(), PacketLedger()
+        pkt = _data_packet(origin=7, data_id=1)
+        a.on_generated(7, 1, now=0.0)
+        a.on_frame_sent(pkt)
+        b.on_delivered(pkt, now=2.5)  # B never generated it -> foreign
+        assert b.entries == {}
+        assert b.foreign == [((7, 1), "delivered", 2.5, None, None)]
+        merged = merge_ledgers([a, b])
+        entry = merged.entries[(7, 1)]
+        assert entry.state is DatumState.DELIVERED
+        assert entry.terminal_at == 2.5
+        assert merged.unknown_delivered == Counter()
+
+    def test_generated_in_a_dropped_in_b(self):
+        a, b = PacketLedger(), PacketLedger()
+        a.on_generated(3, 9, now=0.0)
+        assert b.on_dropped("ttl", key=(3, 9), node=12, now=1.25) is False
+        merged = merge_ledgers([a, b])
+        entry = merged.entries[(3, 9)]
+        assert entry.state is DatumState.DROPPED
+        assert (entry.reason, entry.node, entry.terminal_at) == ("ttl", 12, 1.25)
+
+    def test_delivery_beats_cross_shard_drop(self):
+        a, b, c = PacketLedger(), PacketLedger(), PacketLedger()
+        a.on_generated(1, 1, now=0.0)
+        b.on_dropped("dead_node", key=(1, 1), node=5, now=1.0)
+        c.on_delivered(_data_packet(1, 1), now=3.0)
+        merged = merge_ledgers([a, b, c])
+        entry = merged.entries[(1, 1)]
+        assert entry.state is DatumState.DELIVERED
+        assert entry.superseded_drop == "dead_node"
+        assert merged.late_drops == Counter({"dead_node": 1})
+
+    def test_duplicate_cross_shard_deliveries_count_once(self):
+        a, b = PacketLedger(), PacketLedger()
+        a.on_generated(2, 4, now=0.0)
+        a.on_delivered(_data_packet(2, 4), now=1.0)
+        b.on_delivered(_data_packet(2, 4), now=0.5)
+        merged = merge_ledgers([a, b])
+        entry = merged.entries[(2, 4)]
+        assert entry.state is DatumState.DELIVERED
+        assert entry.terminal_at == 0.5  # earliest delivery wins
+        assert entry.duplicates == 1
+        assert merged.delivered == 1
+
+    def test_never_generated_delivery_stays_unknown(self):
+        a, b = PacketLedger(), PacketLedger()
+        a.on_generated(1, 1, now=0.0)
+        b.on_delivered(_data_packet(99, 42), now=1.0)
+        merged = merge_ledgers([a, b])
+        assert merged.unknown_delivered == Counter({(99, 42): 1})
+
+    def test_duplicate_generation_is_a_partition_bug(self):
+        a, b = PacketLedger(), PacketLedger()
+        a.on_generated(1, 1)
+        b.on_generated(1, 1)
+        with pytest.raises(ConfigurationError, match="ownership partition"):
+            merge_ledgers([a, b])
+
+    @given(
+        plans=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1),  # generating shard
+                st.sampled_from(
+                    ["open", "deliver_home", "deliver_away", "drop_home",
+                     "drop_away", "deliver_both", "drop_then_deliver"]
+                ),
+                st.floats(min_value=0.0, max_value=100.0),
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_cross_shard_histories_merge_conserving(self, plans):
+        """Per-shard ledgers merge to a conserving whole.
+
+        Every datum is generated in exactly one shard and reaches (or
+        not) a terminal state in an arbitrary shard; whatever the split,
+        the merged ledger must satisfy generated == delivered + dropped
+        + pending with no unknown deliveries.
+        """
+        parts = [PacketLedger(), PacketLedger()]
+        want_delivered = want_dropped = want_open = 0
+        for data_id, (home, outcome, t) in enumerate(plans):
+            away = 1 - home
+            parts[home].on_generated(0, data_id, now=0.0)
+            pkt = _data_packet(0, data_id)
+            if outcome == "open":
+                want_open += 1
+            elif outcome == "deliver_home":
+                parts[home].on_delivered(pkt, now=t)
+                want_delivered += 1
+            elif outcome == "deliver_away":
+                parts[away].on_delivered(pkt, now=t)
+                want_delivered += 1
+            elif outcome == "drop_home":
+                parts[home].on_dropped("ttl", key=(0, data_id), now=t)
+                want_dropped += 1
+            elif outcome == "drop_away":
+                parts[away].on_dropped("dead_node", key=(0, data_id), now=t)
+                want_dropped += 1
+            elif outcome == "deliver_both":
+                parts[home].on_delivered(pkt, now=t)
+                parts[away].on_delivered(pkt, now=t + 1.0)
+                want_delivered += 1
+            else:  # drop_then_deliver: delivery wins however late
+                parts[away].on_dropped("no_route", key=(0, data_id), now=t)
+                parts[home].on_delivered(pkt, now=t + 5.0)
+                want_delivered += 1
+        merged = merge_ledgers(parts)
+        assert merged.generated == len(plans)
+        assert merged.delivered == want_delivered
+        assert merged.dropped == want_dropped
+        assert merged.pending == want_open
+        assert merged.generated == merged.delivered + merged.dropped + merged.pending
+        assert sum(merged.unknown_delivered.values()) == 0
+
+
+class TestMergeCollectors:
+    def test_totals_sum_and_first_death_is_earliest(self):
+        a, b = MetricsCollector(audit=False), MetricsCollector(audit=False)
+        a.bytes_sent, b.bytes_sent = 100, 40
+        a.data_generated, b.data_generated = 3, 2
+        a.first_death = (5, 9.0)
+        b.first_death = (2, 4.0)
+        merged = merge_collectors([a, b])
+        assert merged.bytes_sent == 140
+        assert merged.data_generated == 5
+        assert merged.first_death == (2, 4.0)
+
+    def test_needs_at_least_one_part(self):
+        with pytest.raises(ConfigurationError):
+            merge_collectors([])
+
+
+# ----------------------------------------------------------------------
+# end-to-end bit-identity
+# ----------------------------------------------------------------------
+class TestBitIdentity:
+    def _legs(self, workload, shard_counts):
+        return {s: run_sharded(workload, shards=s) for s in shard_counts}
+
+    def test_two_workers_match_single_process(self):
+        legs = self._legs(_workload(), (1, 2))
+        assert legs[2].digest == legs[1].digest
+        assert legs[2].shards == 2 and legs[1].windows == 0
+        assert legs[2].windows > 0
+        # Merged conservation report == the single-process one.
+        r1, r2 = legs[1].conservation, legs[2].conservation
+        assert r1 is not None and r2 is not None
+        assert r1.to_jsonable() == r2.to_jsonable()
+        assert r1.ok and r2.ok
+        # Headline metrics agree exactly (lifetime is NaN == NaN here:
+        # nobody died on an infinite battery, and NaN != NaN).
+        s1, s2 = legs[1].metrics.summary(), legs[2].metrics.summary()
+        assert math.isnan(s1.pop("lifetime")) and math.isnan(s2.pop("lifetime"))
+        assert s1 == s2
+
+    def test_three_workers_with_battery_deaths(self):
+        w = _workload(n=200, datums=40, battery=0.015, seed=11)
+        legs = self._legs(w, (1, 3))
+        assert legs[3].digest == legs[1].digest
+        assert legs[1].metrics.first_death is not None  # deaths happened
+        assert legs[3].metrics.first_death == legs[1].metrics.first_death
+        assert legs[3].conservation.to_jsonable() == legs[1].conservation.to_jsonable()
+
+    def test_worldconfig_shards_selects_the_executor(self):
+        w = _workload()
+        w.world = WorldConfig(audit=True, shards=2)
+        result = run_sharded(w)  # shards taken from the config
+        assert result.shards == 2
+        assert result.digest == run_sharded(w, shards=1).digest
+
+    def test_per_shard_parts_account_for_all_events(self):
+        legs = self._legs(_workload(), (1, 2))
+        parts = legs[2].parts
+        assert [p["shard"] for p in parts] == [0, 1]
+        assert sum(p["events_processed"] for p in parts) == legs[2].events_processed

@@ -8,7 +8,7 @@ reference path, and both must pass the packet-conservation audit.  The
 hypothesis property below holds that over randomized fault scenarios;
 the unit tests pin the store's public API (``charge``, ``alive_view``,
 ``route_columns``) and the :class:`~repro.world.WorldConfig` parameter
-plumbing (round-trip, cache-key identity, deprecation of bare kwargs).
+plumbing (round-trip, cache-key identity, removal of bare kwargs).
 """
 
 import dataclasses
@@ -22,7 +22,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro.core.base import ProtocolConfig
 from repro.core.spr import SPR
 from repro.exceptions import ConfigurationError
-from repro.experiments.common import make_grid_scenario, resolve_world_config
+from repro.experiments.common import make_grid_scenario
 from repro.faults.plan import BatteryDrain, Crash, FaultPlan, Recover
 from repro.runner.spec import cache_key
 from repro.sim.node import NodeKind
@@ -233,18 +233,19 @@ class TestWorldConfigAPI:
         b.configure(WorldConfig(soa=False))
         assert b.config == WorldConfig(soa=False)
 
-    def test_bare_kwargs_warn_and_fold_into_config(self):
-        with pytest.warns(DeprecationWarning, match="audit"):
-            cfg = resolve_world_config(None, None, True, None)
-        assert cfg == WorldConfig(audit=True)
-        base = WorldConfig(spatial_index="bruteforce")
-        with pytest.warns(DeprecationWarning):
-            cfg = resolve_world_config(base, None, False, None)
-        assert cfg == WorldConfig(spatial_index="bruteforce", audit=False)
+    def test_bare_kwargs_path_is_gone(self):
+        # The deprecated resolve_world_config shim was removed outright.
+        with pytest.raises(ImportError):
+            from repro.experiments.common import resolve_world_config  # noqa: F401
 
-    def test_make_scenario_warns_on_bare_kwargs_only(self):
-        with pytest.warns(DeprecationWarning, match="deprecated"):
+    def test_make_scenario_rejects_bare_kwargs(self):
+        with pytest.raises(TypeError, match="audit"):
             make_grid_scenario(2, 2, 10.0, [[0.0, 0.0]], comm_range=15.0, audit=False)
+        with pytest.raises(TypeError, match="spatial_index"):
+            make_grid_scenario(
+                2, 2, 10.0, [[0.0, 0.0]],
+                comm_range=15.0, spatial_index="bruteforce",
+            )
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             make_grid_scenario(
