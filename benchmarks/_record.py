@@ -8,6 +8,11 @@ every leg must agree on, proving the legs computed the same thing), and
 a headline ``speedup``.  Centralizing the writer keeps the schema in
 one place so ``bench_topology.py`` and ``bench_shard.py`` records stay
 machine-comparable with the hotpath one.
+
+Re-running a benchmark no longer discards the prior measurement: the
+latest record stays at the top level (so consumers keep reading the
+same shape) and earlier top-level records shift into a bounded
+``history`` list, oldest first — a cheap local trend line across runs.
 """
 
 from __future__ import annotations
@@ -20,6 +25,10 @@ __all__ = ["bench_record", "write_bench"]
 
 #: the directory holding the committed BENCH_*.json records.
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: prior records kept in a BENCH file's ``history`` list (oldest are
+#: dropped first); bounds committed file growth under repeated runs.
+HISTORY_LIMIT = 20
 
 
 def bench_record(
@@ -40,21 +49,41 @@ def bench_record(
     return record
 
 
+def _load_prior(path: str) -> Optional[dict]:
+    """The existing record at ``path``, or None (absent/unreadable)."""
+    try:
+        with open(path) as fh:
+            prior = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    return prior if isinstance(prior, dict) else None
+
+
 def write_bench(name: str, record: dict, path: Optional[str] = None) -> str:
     """Write ``record`` to ``BENCH_<name>.json`` (repo root by default).
 
-    ``path`` overrides the destination (``"-"`` prints to stdout and
-    writes nothing).  Returns the path written, or ``"-"``.
+    The new record becomes the top level; an existing record at the
+    destination is appended (minus its own ``history``) to the new
+    record's ``history`` list, bounded to the last :data:`HISTORY_LIMIT`
+    entries.  ``path`` overrides the destination (``"-"`` prints to
+    stdout and writes nothing, leaving any existing file's history
+    untouched).  Returns the path written, or ``"-"``.
     """
     for key in ("config", "legs", "digest", "speedup"):
         if key not in record:
             raise ValueError(f"bench record for {name!r} is missing {key!r}")
-    blob = json.dumps(record, indent=2)
     if path == "-":
-        print(blob)
+        print(json.dumps(record, indent=2))
         return "-"
     if path is None:
         path = os.path.join(REPO_ROOT, f"BENCH_{name}.json")
+    record = dict(record)
+    history = list(record.pop("history", []))
+    prior = _load_prior(path)
+    if prior is not None:
+        history = list(prior.pop("history", []) or [])
+        history.append(prior)
+    record["history"] = history[-HISTORY_LIMIT:]
     with open(path, "w") as fh:
-        fh.write(blob + "\n")
+        fh.write(json.dumps(record, indent=2) + "\n")
     return path

@@ -1,7 +1,9 @@
 """Sharded-executor scaling benchmark: 1/2/4 workers, one digest.
 
 Runs the same flooding workload through :func:`repro.shard.run_sharded`
-at increasing worker counts and checks two things at once:
+at increasing worker counts — plus a smaller MLR workload (unicast
+routing, discovery floods, a gateway relocation round) over the same
+worker counts — and checks two things at once:
 
 * **Correctness** — every leg must produce the same order-canonical
   :func:`~repro.shard.runner.run_digest`; the sharded legs additionally
@@ -28,7 +30,7 @@ import os
 import sys
 
 from _record import bench_record, write_bench
-from repro.experiments.scalability import make_xl_workload
+from repro.experiments.scalability import make_xl_mlr_workload, make_xl_workload
 from repro.shard import run_sharded
 
 #: sensors per square meter — one per 30x30 m cell, the paper's density.
@@ -36,14 +38,14 @@ _DENSITY = 1 / 900.0
 _COMM_RANGE = 55.0
 
 
-def run_benchmark(
-    sensors: int, floods: int, ttl: int, workers: list[int], seed: int = 0
-) -> dict:
-    workload = make_xl_workload(
-        sensors, floods, ttl, density=_DENSITY, comm_range=_COMM_RANGE,
-        seed=seed, audit=True,
-    )
-    legs: dict[str, dict] = {}
+def _timed_legs(
+    workload, workers: list[int], legs: dict, prefix: str
+) -> tuple[str, object]:
+    """Run ``workload`` at every worker count; returns (digest, metrics).
+
+    Appends one ``{prefix}workers-N`` entry per leg and raises on any
+    digest divergence from the first leg.
+    """
     digests: dict[int, str] = {}
     baseline_metrics = None
     for w in workers:
@@ -51,7 +53,7 @@ def run_benchmark(
         digests[w] = result.digest
         if baseline_metrics is None:
             baseline_metrics = result.metrics
-        legs[f"workers-{w}"] = {
+        legs[f"{prefix}workers-{w}"] = {
             "workers": w,
             "wall_clock_s": result.wall_clock_s,
             "events_processed": result.events_processed,
@@ -63,17 +65,44 @@ def run_benchmark(
     for w, got in digests.items():
         if got != want:
             raise AssertionError(
-                f"digest diverged: {workers[0]} workers -> {want}, {w} workers -> {got}"
+                f"{prefix or 'flooding '}digest diverged: "
+                f"{workers[0]} workers -> {want}, {w} workers -> {got}"
             )
+    return want, baseline_metrics
+
+
+def run_benchmark(
+    sensors: int,
+    floods: int,
+    ttl: int,
+    workers: list[int],
+    seed: int = 0,
+    mlr_sensors: int = 2000,
+    mlr_datums: int = 16,
+    mlr_ttl: int = 12,
+) -> dict:
+    workload = make_xl_workload(
+        sensors, floods, ttl, density=_DENSITY, comm_range=_COMM_RANGE,
+        seed=seed, audit=True,
+    )
+    legs: dict[str, dict] = {}
+    want, m_first = _timed_legs(workload, workers, legs, prefix="")
+    mlr_workload = make_xl_mlr_workload(
+        mlr_sensors, mlr_datums, mlr_ttl, density=_DENSITY,
+        comm_range=_COMM_RANGE, seed=seed, audit=True,
+    )
+    mlr_want, _ = _timed_legs(mlr_workload, workers, legs, prefix="mlr-")
     base = legs[f"workers-{workers[0]}"]["wall_clock_s"]
     peak = legs[f"workers-{max(workers)}"]["wall_clock_s"]
-    m_first = baseline_metrics
     return bench_record(
         config={"sensors": sensors, "floods": floods, "ttl": ttl, "seed": seed,
                 "comm_range": _COMM_RANGE, "density": _DENSITY,
-                "workers": list(workers)},
+                "workers": list(workers),
+                "mlr_sensors": mlr_sensors, "mlr_datums": mlr_datums,
+                "mlr_ttl": mlr_ttl},
         legs=legs,
         digest={"run_digest": want,
+                "mlr_run_digest": mlr_want,
                 "data_generated": m_first.data_generated,
                 "delivered": len({(r.origin, r.uid) for r in m_first.deliveries}),
                 "bytes_sent": m_first.bytes_sent},
@@ -91,6 +120,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workers", default="1,2,4",
                         help="comma-separated worker counts (first is baseline)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--mlr-sensors", type=int, default=2000,
+                        help="network size for the MLR legs")
+    parser.add_argument("--mlr-datums", type=int, default=16,
+                        help="unicast datums for the MLR legs")
+    parser.add_argument("--mlr-ttl", type=int, default=12,
+                        help="discovery-flood TTL for the MLR legs")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="record destination ('-' for stdout; default "
                              "BENCH_shard.json at the repo root)")
@@ -100,7 +135,9 @@ def main(argv: list[str] | None = None) -> int:
 
     workers = [int(w) for w in args.workers.split(",")]
     report = run_benchmark(
-        args.sensors, args.floods, args.ttl, workers, seed=args.seed
+        args.sensors, args.floods, args.ttl, workers, seed=args.seed,
+        mlr_sensors=args.mlr_sensors, mlr_datums=args.mlr_datums,
+        mlr_ttl=args.mlr_ttl,
     )
     written = write_bench("shard", report, path=args.json)
     if written != "-":
@@ -111,6 +148,7 @@ def main(argv: list[str] | None = None) -> int:
                   f"{leg['events_per_sec']:,.0f} ev/s  "
                   f"windows={leg['windows']}")
         print(f"digest:      {report['digest']['run_digest'][:16]}… (all legs equal)")
+        print(f"mlr digest:  {report['digest']['mlr_run_digest'][:16]}… (all legs equal)")
         print(f"speedup:     {report['speedup']:.2f}x")
         print(f"record:      {written}")
 

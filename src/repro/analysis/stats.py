@@ -72,14 +72,21 @@ def energy_balance_index(network: Network) -> float:
 
 
 def jain_fairness(values: Iterable[float]) -> float:
-    """Jain's fairness index of a non-negative sequence (1.0 = equal)."""
+    """Jain's fairness index of a non-negative sequence (1.0 = equal).
+
+    The index is scale-invariant, so inputs are normalised by their peak
+    before squaring — tiny values (below ~1e-154) would otherwise square
+    into subnormals whose rounding can push the ratio past 1.
+    """
     v = np.asarray(list(values), dtype=float)
     if len(v) == 0:
         return 1.0
+    peak = float(v.max())
+    if peak <= 0.0:
+        return 1.0  # all-zero: degenerate but perfectly even
+    v = v / peak
     denom = len(v) * float((v * v).sum())
-    if denom == 0:
-        return 1.0
-    return float(v.sum()) ** 2 / denom
+    return min(1.0, float(v.sum()) ** 2 / denom)
 
 
 def hop_histogram(metrics: MetricsCollector) -> dict[int, int]:

@@ -20,6 +20,13 @@ another gateway — the paper's fault-tolerance behaviour ("sensor nodes may
 redirect data transmission using other routes", Section 8).  Redirects
 are bounded by ``max_repairs_per_packet`` and gated on ``repair_routes``.
 
+Liveness checks about *another* node go through :meth:`_believed_alive`:
+knowledge of a battery death travels no faster than a frame, so a
+neighbour's exhaustion becomes visible one MAC-header airtime after it
+happens.  Injected fail-stop crashes stay instantly visible (the HELLO
+abstraction the recovery experiments rely on); a node reading its *own*
+state always sees the truth.
+
 Like the discovery engine, this is a mixin operating through ``self``:
 MLR overrides :meth:`_dispatch_or_queue` (round gating), SecMLR overrides
 :meth:`_transmit_data` / :meth:`_on_data` (authentication); the policy
@@ -34,7 +41,7 @@ from typing import Any, Hashable
 from repro.exceptions import RoutingError
 from repro.core.routing_table import RouteEntry
 from repro.sim.node import NodeKind
-from repro.sim.packet import Packet, PacketKind
+from repro.sim.packet import MAC_HEADER_BYTES, Packet, PacketKind
 
 __all__ = ["DataPlaneForwarder"]
 
@@ -43,18 +50,64 @@ class DataPlaneForwarder:
     """Table-driven DATA forwarding with RERR repair (Steps 1 and 5)."""
 
     # ------------------------------------------------------------------
+    # routing-layer liveness belief
+    # ------------------------------------------------------------------
+    @property
+    def _death_latency(self) -> float:
+        """How long a battery death stays invisible to other nodes.
+
+        One MAC-header airtime: the fastest any frame — hence any
+        death evidence — can cross a link.  This equals the sharded
+        executor's window lookahead, which is exactly what makes
+        barrier-mirrored liveness bit-identical across workers: a flip
+        always reaches every worker before any node there is allowed
+        to observe it.
+        """
+        latency = getattr(self, "_death_latency_cache", None)
+        if latency is None:
+            latency = self.channel.config.airtime(8 * MAC_HEADER_BYTES)
+            self._death_latency_cache = latency
+        return latency
+
+    def _believed_alive(self, node_id: int) -> bool:
+        """What the routing layer believes about ANOTHER node's liveness.
+
+        Battery deaths propagate with :attr:`_death_latency`; injected
+        fail-stop crashes (fault experiments, never sharded) remain
+        instantly visible — recovery probing depends on the failed
+        flag's HELLO abstraction.  Never use this for a node's reads of
+        its own state.
+        """
+        node = self.network.nodes[node_id]
+        if node.alive:
+            return True
+        died = node.died_at
+        if died is None:
+            return False  # crash or sleep: instant visibility
+        return self.sim.now < died + self._death_latency
+
+    # ------------------------------------------------------------------
     # public API (Step 1)
     # ------------------------------------------------------------------
-    def send_data(self, source: int, payload_bytes: int | None = None) -> int:
+    def send_data(
+        self,
+        source: int,
+        payload_bytes: int | None = None,
+        data_id: int | None = None,
+    ) -> int:
         """Application call: sensor ``source`` has one sensed datum to report.
 
         Returns the data id used in delivery records.  Implements Step 1:
         route from table when possible, otherwise queue + discover.
+        ``data_id`` defaults to a process-local counter; sharded execution
+        passes it explicitly so every worker labels the datum with the
+        same *global* identity.
         """
         node = self.network.nodes[source]
         if node.kind is not NodeKind.SENSOR:
             raise RoutingError(f"only sensors generate data (node {source} is {node.kind})")
-        data_id = next(self._data_ids)
+        if data_id is None:
+            data_id = next(self._data_ids)
         self.metrics.on_data_generated(origin=source, data_id=data_id, now=self.sim.now)
         if not node.alive:
             self.metrics.on_terminal_drop(
@@ -120,7 +173,7 @@ class DataPlaneForwarder:
         if not self._valid_node(next_hop):
             self.metrics.on_terminal_drop("misrouted", pkt, node=node_id, now=self.sim.now)
             return
-        if not self.network.nodes[next_hop].alive:
+        if not self._believed_alive(next_hop):
             if self.config.repair_routes:
                 # Non-terminal: the RERR below carries the stranded datum
                 # back toward its source (the ledger follows it there).
@@ -294,7 +347,7 @@ class DataPlaneForwarder:
         # entry so Property-1 table answering stops advertising it.
         self.tables[node_id].remove(pkt.payload["key"])
         prev = back[pos - 1]
-        if not self._valid_node(prev) or not self.network.nodes[prev].alive:
+        if not self._valid_node(prev) or not self._believed_alive(prev):
             self.metrics.on_terminal_drop("unrepairable", pkt, node=node_id, now=self.sim.now)
             return
         nxt = pkt.fork(src=node_id, dst=prev, hop_count=pkt.hop_count + 1)

@@ -102,7 +102,9 @@ class FloodDiscoveryEngine:
         delay = 0.0
         if self.channel.config.csma:
             delay = attempts * self.config.discovery_timeout
-            delay += float(self.sim.rng.uniform(0.0, self.config.discovery_timeout))
+            delay += float(
+                self.sim.node_rng(source).uniform(0.0, self.config.discovery_timeout)
+            )
         self.sim.schedule(delay, self._retry_discovery, source, attempts)
 
     def _retry_discovery(self, source: int, attempts: int) -> None:
@@ -195,7 +197,9 @@ class FloodDiscoveryEngine:
     def _flood_send(self, node_id: int, pkt: Packet) -> None:
         """Re-broadcast a flood frame, jittered on contention radios."""
         if self.channel.config.csma and self.config.flood_jitter > 0:
-            delay = float(self.sim.rng.uniform(0.0, self.config.flood_jitter))
+            delay = float(
+                self.sim.node_rng(node_id).uniform(0.0, self.config.flood_jitter)
+            )
             self.sim.schedule(delay, self.channel.send, node_id, pkt)
         else:
             self.channel.send(node_id, pkt)
@@ -278,7 +282,9 @@ class FloodDiscoveryEngine:
         if not self._valid_node(prev):
             self.metrics.on_drop("misrouted")
             return
-        if not self.network.nodes[prev].alive:
+        if not self._believed_alive(prev):
+            # Belief, not ground truth: a battery death within one header
+            # airtime is still invisible here (see DataPlaneForwarder).
             self.metrics.on_drop("dead_next_hop")
             return
         nxt = pkt.fork(src=node_id, dst=prev, hop_count=pkt.hop_count + 1)

@@ -117,7 +117,16 @@ class MLR(DiscoveryProtocol):
             self._broadcast_notify(g, place, r)
 
     def _broadcast_notify(self, gateway: int, place: str, r: int) -> None:
-        """Flood the place-change announcement (Section 5.3 step 2)."""
+        """Flood the place-change announcement (Section 5.3 step 2).
+
+        Under sharded execution every replicated worker world applies
+        the same ``start_round``; only the gateway's owner actually puts
+        the NOTIFY on the air (the flood then reaches the other shards
+        as ordinary cross-shard receptions), so the frame — and its tx
+        energy/counter — exists exactly once network-wide.
+        """
+        if not self.channel.owns(gateway):
+            return
         seq = next(self._notify_seq)
         pkt = Packet(
             kind=PacketKind.NOTIFY,

@@ -24,7 +24,11 @@ from repro.experiments.lifetime import run_lifetime_comparison
 from repro.experiments.lp_bound import run_lp_bound
 from repro.experiments.mobility_overhead import run_mobility_overhead
 from repro.experiments.robustness import run_robustness
-from repro.experiments.scalability import run_scalability, run_scalability_xl
+from repro.experiments.scalability import (
+    run_scalability,
+    run_scalability_xl,
+    run_scalability_xl_mlr,
+)
 from repro.experiments.security_overhead import run_security_overhead
 from repro.experiments.table1_mlr import run_table1
 from repro.sim.serialize import serializable
@@ -150,6 +154,10 @@ for _adapter in (
     ExperimentAdapter(
         "scalability_xl", run_scalability_xl, "repro.experiments.scalability",
         "E6b — sharded execution scaling: digest-equal flooding at 20k-100k sensors",
+    ),
+    ExperimentAdapter(
+        "scalability_xl_mlr", run_scalability_xl_mlr, "repro.experiments.scalability",
+        "E6c — sharded MLR: digest-equal unicast routing with gateway relocation",
     ),
     ExperimentAdapter(
         "security_overhead", run_security_overhead, "repro.experiments.security_overhead",

@@ -16,6 +16,13 @@ bottleneck: each size runs TTL-bounded flooding through
 the order-canonical digest is identical across worker counts (the
 sharded executor is an execution strategy, not a model change) and
 reporting per-leg wall clock.
+
+E6c (:func:`run_scalability_xl_mlr`) repeats the sweep with MLR —
+unicast routing, discovery floods, a mid-run gateway relocation round —
+exercising the cross-shard route state and per-node RNG partitioning
+that broadcast flooding never touches.  The gateway schedule moves
+every other gateway along its own strip (same x), which is exactly the
+strip-stable mobility the sharded executor validates.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ import numpy as np
 
 from repro.analysis.tables import format_table
 from repro.baselines.flat import FlatSinkRouting
+from repro.core.policy import ProtocolConfig
 from repro.core.spr import SPR
 from repro.exceptions import SimulationError
 from repro.experiments.common import (
@@ -35,6 +43,7 @@ from repro.experiments.common import (
     run_collection_rounds,
 )
 from repro.shard import ShardWorkload, run_sharded
+from repro.sim.mobility import FeasiblePlaces, GatewaySchedule
 from repro.sim.network import uniform_deployment
 from repro.sim.serialize import serializable
 from repro.world import WorldConfig
@@ -44,7 +53,9 @@ __all__ = [
     "run_scalability",
     "ScalabilityXLResult",
     "make_xl_workload",
+    "make_xl_mlr_workload",
     "run_scalability_xl",
+    "run_scalability_xl_mlr",
 ]
 
 
@@ -190,6 +201,7 @@ class ScalabilityXLRow:
 @dataclass(frozen=True)
 class ScalabilityXLResult:
     rows: list
+    title: str = "E6b — sharded execution scaling (digests equal per size)"
 
     def format_table(self) -> str:
         return format_table(
@@ -203,7 +215,7 @@ class ScalabilityXLResult:
                  r.digest[:12]]
                 for r in self.rows
             ],
-            title="E6b — sharded execution scaling (digests equal per size)",
+            title=self.title,
         )
 
     def speedup(self, n_sensors: int) -> float:
@@ -247,6 +259,39 @@ def make_xl_workload(
     )
 
 
+def _shard_legs(workload: ShardWorkload, n: int, shards: tuple) -> list:
+    """Run one workload at every worker count, asserting digest equality."""
+    rows = []
+    want = None
+    for w in shards:
+        result = run_sharded(workload, shards=int(w))
+        if want is None:
+            want = result.digest
+        elif result.digest != want:
+            raise SimulationError(
+                f"sharded run diverged at n={n}: {w} workers produced "
+                f"digest {result.digest}, expected {want}"
+            )
+        rows.append(
+            ScalabilityXLRow(
+                n_sensors=int(n),
+                shards=int(w),
+                wall_clock_s=result.wall_clock_s,
+                events_processed=result.events_processed,
+                windows=result.windows,
+                digest=result.digest,
+                data_generated=result.metrics.data_generated,
+                delivered=len(
+                    {(r.origin, r.uid) for r in result.metrics.deliveries}
+                ),
+                conserved=(
+                    result.conservation is None or result.conservation.ok
+                ),
+            )
+        )
+    return rows
+
+
 def run_scalability_xl(
     sizes: tuple[int, ...] = (5000,),
     shards: tuple[int, ...] = (1, 2),
@@ -273,31 +318,109 @@ def run_scalability_xl(
             n, floods, ttl, density=density, comm_range=comm_range,
             seed=seed, audit=cfg.audit,
         )
-        want = None
-        for w in shards:
-            result = run_sharded(workload, shards=int(w))
-            if want is None:
-                want = result.digest
-            elif result.digest != want:
-                raise SimulationError(
-                    f"sharded run diverged at n={n}: {w} workers produced "
-                    f"digest {result.digest}, expected {want}"
-                )
-            rows.append(
-                ScalabilityXLRow(
-                    n_sensors=int(n),
-                    shards=int(w),
-                    wall_clock_s=result.wall_clock_s,
-                    events_processed=result.events_processed,
-                    windows=result.windows,
-                    digest=result.digest,
-                    data_generated=result.metrics.data_generated,
-                    delivered=len(
-                        {(r.origin, r.uid) for r in result.metrics.deliveries}
-                    ),
-                    conserved=(
-                        result.conservation is None or result.conservation.ok
-                    ),
-                )
-            )
+        rows.extend(_shard_legs(workload, n, shards))
     return ScalabilityXLResult(rows=rows)
+
+
+# ----------------------------------------------------------------------
+# E6c — sharded execution scaling, MLR
+# ----------------------------------------------------------------------
+def make_xl_mlr_workload(
+    sensors: int,
+    datums: int,
+    ttl: int,
+    density: float = 1 / 900.0,
+    comm_range: float = 55.0,
+    seed: int = 0,
+    audit: Optional[bool] = None,
+) -> ShardWorkload:
+    """The E6c deployment: MLR with a mid-run gateway relocation round.
+
+    The field and gateway grid match :func:`make_xl_workload`.  Each
+    gateway gets two feasible places stacked along its own strip (same
+    x, y shifted by a quarter grid cell) — the strip-stable mobility the
+    sharded executor requires.  Round 1 fires after the first half of
+    the traffic and moves every other gateway to its alternate place,
+    so the second half exercises NOTIFY floods, re-discovery and the
+    accumulated place-keyed tables across shard boundaries.
+    """
+    field = math.sqrt(sensors / density)
+    positions = uniform_deployment(sensors, field, seed=seed)
+    g = max(2, round(math.sqrt(sensors / 5000.0)))
+    frac = [(k + 1) / (g + 1) for k in range(g)]
+    spots = [(fx * field, fy * field) for fx in frac for fy in frac]
+    gateway_ids = [sensors + k for k in range(len(spots))]
+    shift = field / (4.0 * (g + 1))
+    labels: list[str] = []
+    coords: list[tuple[float, float]] = []
+    for k, (x, y) in enumerate(spots):
+        labels += [f"p{k}a", f"p{k}b"]
+        coords += [(x, y), (x, y + shift)]
+    places = FeasiblePlaces(labels=tuple(labels), coordinates=tuple(coords))
+    schedule = GatewaySchedule(
+        places=places,
+        rounds=[
+            {gid: f"p{k}a" for k, gid in enumerate(gateway_ids)},
+            {
+                gid: f"p{k}b" if k % 2 == 0 else f"p{k}a"
+                for k, gid in enumerate(gateway_ids)
+            },
+        ],
+    )
+    half = (datums + 1) // 2
+    move_at = 1.0 + 0.25 * half + 30.0
+    sources = [int(k * sensors / datums) for k in range(datums)]
+    traffic = tuple(
+        (
+            1.0 + 0.25 * k if k < half else move_at + 1.0 + 0.25 * (k - half),
+            s,
+        )
+        for k, s in enumerate(sources)
+    )
+    return ShardWorkload(
+        sensor_positions=positions,
+        gateway_positions=np.asarray(spots, dtype=float),
+        comm_range=comm_range,
+        traffic=traffic,
+        world=WorldConfig(audit=audit),
+        protocol="mlr",
+        protocol_params={
+            "schedule": schedule,
+            "config": ProtocolConfig(ttl=ttl),
+        },
+        seed=seed,
+        rounds=(0.0, move_at),
+    )
+
+
+def run_scalability_xl_mlr(
+    sizes: tuple[int, ...] = (2000,),
+    shards: tuple[int, ...] = (1, 2),
+    datums: int = 16,
+    ttl: int = 12,
+    density: float = 1 / 900.0,
+    comm_range: float = 55.0,
+    seed: int = 0,
+    world=None,
+) -> ScalabilityXLResult:
+    """E6c: the sharded sweep with MLR instead of flooding.
+
+    Same digest-equality contract as :func:`run_scalability_xl`, but the
+    workload routes unicast DATA over discovered paths, relocates
+    gateways mid-run and (under audit mode) passes the merged
+    conservation audit whole-network — the end-to-end check that route
+    announcements, RERR repair and routing-table state survive shard
+    boundaries bit-for-bit.
+    """
+    cfg = WorldConfig.from_param(world) or WorldConfig()
+    rows = []
+    for n in sizes:
+        workload = make_xl_mlr_workload(
+            n, datums, ttl, density=density, comm_range=comm_range,
+            seed=seed, audit=cfg.audit,
+        )
+        rows.extend(_shard_legs(workload, n, shards))
+    return ScalabilityXLResult(
+        rows=rows,
+        title="E6c — sharded MLR scaling (digests equal per size)",
+    )

@@ -119,7 +119,15 @@ def merge_ledgers(parts: Sequence[PacketLedger]) -> PacketLedger:
         entry.duplicates += len(times) - 1
         key_drops = drops.pop(key, [])
         if key_drops:
-            first = min(key_drops, key=lambda d: _time(d[0]))
+            # Full (time, reason, node) key: a terminal drop that ties a
+            # cross-shard delivery to the exact same timestamp must pick
+            # the same superseded reason however many shards reported,
+            # and in whatever order — time alone leaves the tie to
+            # report order.
+            first = min(
+                key_drops,
+                key=lambda d: (_time(d[0]), str(d[1]), -1 if d[2] is None else d[2]),
+            )
             entry.superseded_drop = entry.superseded_drop or first[1] or "unknown"
             for _, reason, _node in key_drops:
                 merged.late_drops[reason or "unknown"] += 1

@@ -13,10 +13,13 @@ the ones the single-process run uses.
 Window protocol (conservative, BSP)::
 
     worker  -> ('ready', next_event_time)
-    coord   -> ('advance', grant, deliveries, alive_updates)   # repeated
-    worker  -> ('window', next_event_time, exports, alive_flips)
+    coord   -> ('advance', grant, deliveries, alive_updates,
+                route_updates)                                 # repeated
+    worker  -> ('window', next_event_time, exports, alive_flips,
+                route_flips)
     coord   -> ('finish',)
-    worker  -> ('done', metrics, (tx, rx), events_processed, wall_s)
+    worker  -> ('done', metrics, (tx, rx), events_processed, wall_s,
+                rng_states)
 
 ``grant = horizon + lookahead`` where ``horizon`` is the minimum of all
 workers' next event times and all not-yet-injected message arrivals, and
@@ -27,11 +30,29 @@ run ``sim.run(until=grant, inclusive=False)`` (events strictly before
 the grant) and the coordinator injects each export exactly once, in the
 first window after it surfaced.
 
-Bit-identity has one measure-zero caveat: events that tie to the exact
-same float timestamp execute in sequence order, and sequence numbers are
-per-worker — cross-shard same-timestamp ties may order differently than
-the single-process run.  Uniform random deployments never produce such
-ties; grid deployments can.
+Unicast protocols (SPR, MLR) ride the same machinery: every packet —
+broadcast flood or routed unicast — crosses a strip boundary as an
+exported reception, and every RNG draw (loss, burst, ARQ backoff,
+discovery jitter) comes from the *acting node's* substream
+(:meth:`~repro.sim.engine.Simulator.node_rng`), which is derived from
+the seed alone and therefore identical on every worker.  Route and
+liveness state is owner-authoritative; the halo rows of the
+struct-of-arrays store mirror the owner's ``alive``/``died_at`` and
+``next_hop``/``route_seq`` columns at window barriers.
+
+Barrier-refreshed halo mirrors lag the owner by less than one lookahead
+window.  For liveness this lag is *exactly compensated* by the routing
+layer's delayed death belief
+(:meth:`~repro.core.dataplane.DataPlaneForwarder._believed_alive`): a
+battery death at ``t`` becomes visible to other nodes only at ``t +
+lookahead``, and since every window spans at most ``lookahead`` of sim
+time, the flip always crosses the barrier before any worker may observe
+it — death-bearing unicast workloads are therefore bit-identical, which
+the digest suite pins at 1/2/3 workers.  One caveat remains,
+measure-zero for uniform random deployments: events that tie to the
+exact same float timestamp execute in sequence order, and sequence
+numbers are per-worker, so cross-shard same-timestamp ties may order
+differently than the single-process run.
 """
 
 from __future__ import annotations
@@ -48,10 +69,13 @@ from typing import Any, Optional
 import numpy as np
 
 from repro.baselines.flooding import Flooding
+from repro.core.mlr import MLR
+from repro.core.spr import SPR
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.obs.audit import ConservationReport, assert_conserved, audit_collector
 from repro.obs.merge import merge_collectors
 from repro.shard.plan import ShardPlan, conservative_lookahead
+from repro.sim.mobility import GatewaySchedule
 from repro.sim.radio import IEEE802154, RadioConfig
 from repro.sim.spatial import CellGrid
 from repro.sim.trace import MetricsCollector, audit_default
@@ -59,11 +83,13 @@ from repro.world import WorldBuilder, WorldConfig
 
 __all__ = ["ShardRunResult", "ShardWorkload", "run_digest", "run_sharded"]
 
-#: Protocols whose sharded execution is bit-identical: broadcast-routed
-#: and draw-free under an ideal radio.  Gossiping draws from the shared
-#: RNG per hop — per-worker streams would diverge — and the discovery
-#: protocols route over cross-shard unicast state; neither is supported.
-_SHARD_SAFE_PROTOCOLS = {"flooding": Flooding}
+#: Protocols whose sharded execution is bit-identical.  Flooding is
+#: broadcast-only; SPR and MLR route unicast over owner-authoritative
+#: state with every RNG draw taken from the acting node's substream, so
+#: their frames and draws shard cleanly too.  Gossiping/LEACH still draw
+#: from the *shared* ``sim.rng`` in global event order — per-worker
+#: streams would diverge — and stay unsupported.
+_SHARD_SAFE_PROTOCOLS = {"flooding": Flooding, "spr": SPR, "mlr": MLR}
 
 
 @dataclass
@@ -75,6 +101,16 @@ class ShardWorkload:
     single-process leg schedules all of them — both label datum ``i``
     with ``data_id == i + 1``, so ``(origin, data_id)`` identities match
     across legs bit-for-bit.
+
+    ``rounds`` (MLR only) is the tuple of round start times: round ``r``
+    of the schedule is applied at ``rounds[r]`` on *every* leg — gateway
+    moves are replicated world state, the NOTIFY flood airs once on the
+    moving gateway's owner.  Empty means one round at t=0.
+
+    Construction validates the protocol/radio/world composition
+    immediately (the same :func:`_validate` pass ``run_sharded`` applies
+    to its final shard count), so an unsupported combination fails where
+    the workload is written, not windows-deep inside a worker.
     """
 
     sensor_positions: np.ndarray
@@ -87,6 +123,10 @@ class ShardWorkload:
     protocol_params: dict = field(default_factory=dict)
     sensor_battery: float = math.inf
     seed: int = 0
+    rounds: tuple = ()
+
+    def __post_init__(self) -> None:
+        _validate(self, self.world.shards)
 
     @property
     def positions(self) -> np.ndarray:
@@ -113,6 +153,11 @@ class ShardRunResult:
     conservation: Optional[ConservationReport] = None
     #: per-shard ``{"shard", "events_processed", "wall_clock_s"}`` rows
     parts: list = field(default_factory=list)
+    #: final per-node RNG substream states, ``{node_id: bit_generator
+    #: state dict}`` for every node that drew — sharded runs merge the
+    #: owners' states, so equality with the single-process leg proves
+    #: the partitioned streams were consumed identically.
+    rng_states: dict = field(default_factory=dict)
 
 
 # ----------------------------------------------------------------------
@@ -171,21 +216,50 @@ def _want_audit(cfg: WorldConfig) -> bool:
 
 
 def _validate(workload: ShardWorkload, shards: int) -> None:
+    """Reject unsupported workload/shard compositions, loudly and early.
+
+    Called from :meth:`ShardWorkload.__post_init__` (against the world's
+    default shard count) and again from :func:`run_sharded` (against the
+    actual count), so both the construction site and the execution site
+    fail with the supported list in the message.
+    """
     if not isinstance(shards, int) or shards < 1:
         raise ConfigurationError(f"shards must be a positive integer, got {shards!r}")
     if workload.protocol not in _SHARD_SAFE_PROTOCOLS:
         raise ConfigurationError(
             f"protocol {workload.protocol!r} is not shard-safe; supported: "
-            f"{sorted(_SHARD_SAFE_PROTOCOLS)} (gossiping/discovery draw RNG "
-            "or route over cross-shard state in global event order)"
+            f"{sorted(_SHARD_SAFE_PROTOCOLS)} (gossiping/LEACH draw from the "
+            "shared RNG in global event order)"
+        )
+    if workload.protocol == "mlr":
+        schedule = workload.protocol_params.get("schedule")
+        if not isinstance(schedule, GatewaySchedule):
+            raise ConfigurationError(
+                "mlr workloads need a GatewaySchedule under "
+                "protocol_params['schedule']"
+            )
+        n_rounds = len(workload.rounds) or 1
+        if n_rounds > schedule.num_rounds:
+            raise ConfigurationError(
+                f"workload schedules {n_rounds} rounds but the gateway "
+                f"schedule only has {schedule.num_rounds}"
+            )
+        times = [float(t) for t in workload.rounds]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ConfigurationError(
+                f"round start times must be strictly increasing, got {times}"
+            )
+    elif workload.rounds:
+        raise ConfigurationError(
+            f"rounds only apply to mlr, not {workload.protocol!r}"
         )
     if shards == 1:
         return
     cfg = workload.world
     if not cfg.soa:
         raise ConfigurationError(
-            "sharded execution requires soa=True (halo alive mirroring and "
-            "per-node counters live on the struct-of-arrays store)"
+            "sharded execution requires soa=True (halo alive/route mirroring "
+            "and per-node counters live on the struct-of-arrays store)"
         )
     if cfg.faults is not None:
         raise ConfigurationError(
@@ -195,14 +269,55 @@ def _validate(workload: ShardWorkload, shards: int) -> None:
     radio = workload.radio
     if radio.csma or radio.collisions:
         raise ConfigurationError(
-            "sharded execution requires csma=False and collisions=False "
-            "(the medium is global state)"
+            "sharded execution requires csma=False and collisions=False (the "
+            "medium is global state); loss, burst, ARQ and backoff shard "
+            "fine — their draws come from per-node RNG substreams"
         )
-    if radio.loss_rate > 0.0 or radio.burst is not None:
-        raise ConfigurationError(
-            "sharded execution requires a lossless radio: loss draws consume "
-            "the RNG stream in global event order"
-        )
+    if workload.protocol == "mlr":
+        _validate_mlr_mobility(workload, shards)
+
+
+def _validate_mlr_mobility(workload: ShardWorkload, shards: int) -> None:
+    """Every place a gateway ever occupies must stay in its home strip.
+
+    Node ownership is fixed at round 0 (the plan is built from initial
+    positions), so a gateway that crossed a cut would be simulated by a
+    worker that no longer matches its position — and interior sensors of
+    the strip it entered would deliver to it locally instead of
+    exporting.  Strip-stable schedules keep both invariants: a non-owned
+    node is always beyond the cut, hence > comm_range from every
+    interior sensor.
+    """
+    schedule: GatewaySchedule = workload.protocol_params["schedule"]
+    positions = workload.positions
+    plan = ShardPlan.build(positions, workload.comm_range, shards)
+    home = plan.owner_of(positions)
+    n_rounds = len(workload.rounds) or 1
+    for r in range(n_rounds):
+        for g, place in sorted(schedule.assignment(r).items()):
+            pos = np.asarray(schedule.places.position(place), dtype=float)
+            owner = int(plan.owner_of(pos[None, :])[0])
+            if owner != int(home[g]):
+                raise ConfigurationError(
+                    f"gateway {g} moves to place {place!r} in round {r}, "
+                    f"crossing from strip {int(home[g])} to {owner}; sharded "
+                    "MLR needs strip-stable gateway schedules (ownership is "
+                    "fixed at round 0)"
+                )
+
+
+def _schedule_rounds(sim, proto, workload: ShardWorkload) -> None:
+    """Arm MLR round starts at identical sim times on every leg.
+
+    Scheduled *before* the traffic so same-timestamp ties resolve the
+    same way on workers and the single-process leg.  Gateway moves are
+    replicated world state (every worker applies them); the NOTIFY
+    flood airs only on the moving gateway's owner.
+    """
+    if workload.protocol != "mlr":
+        return
+    for r, when in enumerate(workload.rounds or (0.0,)):
+        sim.schedule_at(float(when), proto.start_round, r)
 
 
 def _build_worker_world(workload: ShardWorkload, defer_audit: bool):
@@ -256,41 +371,69 @@ def _worker_loop(conn, workload: ShardWorkload, shard_id: int, plan: ShardPlan) 
     interior = plan.interior_mask(positions, shard_id)
     world, proto = _build_worker_world(workload, defer_audit=True)
     sim, channel, network = world.sim, world.channel, world.network
+    if workload.protocol == "mlr":
+        # Gateways relocate between rounds: their round-0 interior
+        # status goes stale the moment they move, so they always take
+        # the split path (mobility is validated strip-stable, keeping
+        # the static ownership mask correct).
+        interior[list(network.gateway_ids)] = False
     channel.configure_sharding(owned, interior)
+    _schedule_rounds(sim, proto, workload)
     for i, (when, src) in enumerate(workload.traffic):
         if owned[src]:
             sim.schedule_at(float(when), proto.send_data, int(src), None, i + 1)
 
-    # Watch set: owned nodes whose aliveness other shards can observe —
-    # everything in the comm_range band around this strip's boundary.
+    # Watch set: owned nodes whose aliveness and route columns other
+    # shards can observe — everything in the comm_range band around this
+    # strip's boundary.
     grid = CellGrid(positions, workload.comm_range)
     band = grid.cells_in_band(plan.strip_rect(shard_id), workload.comm_range)
     watch = [int(i) for i in band if owned[i]]
     nodes = network.nodes
+    store = network.store
     alive_now = {i: bool(nodes[i].alive) for i in watch}
+    route_now = {i: int(store.route_seq[i]) for i in watch}
 
     conn.send(("ready", sim.next_event_time))
     while True:
         msg = conn.recv()
         if msg[0] == "finish":
             break
-        _, grant, deliveries, alive_updates = msg
+        _, grant, deliveries, alive_updates, route_updates = msg
         if alive_updates:
-            network.store.mirror_alive(
-                [i for i, _ in alive_updates], [up for _, up in alive_updates]
+            store.mirror_alive(
+                [i for i, _, _ in alive_updates],
+                [up for _, up, _ in alive_updates],
+                [t for _, _, t in alive_updates],
+            )
+        if route_updates:
+            store.mirror_route(
+                [i for i, _, _ in route_updates],
+                [hop for _, hop, _ in route_updates],
+                [seq for _, _, seq in route_updates],
             )
         for arrive, receiver, sender, packet, attempt in deliveries:
             channel.deliver_remote(arrive, receiver, sender, packet, attempt)
         sim.run(until=grant, inclusive=False)
         flips = []
+        routes = []
         for i in watch:
             up = bool(nodes[i].alive)
             if up != alive_now[i]:
                 alive_now[i] = up
-                flips.append((i, up))
-        conn.send(("window", sim.next_event_time, channel.take_shard_exports(), flips))
+                flips.append((i, up, float(store.died_at[i])))
+            seq = int(store.route_seq[i])
+            if seq != route_now[i]:
+                route_now[i] = seq
+                routes.append((i, int(store.next_hop[i]), seq))
+        conn.send(
+            ("window", sim.next_event_time, channel.take_shard_exports(), flips, routes)
+        )
 
-    tx, rx = network.store.counter_columns()
+    tx, rx = store.counter_columns()
+    rng_states = {
+        i: st for i, st in sim.node_rng_states().items() if owned[i]
+    }
     conn.send(
         (
             "done",
@@ -298,6 +441,7 @@ def _worker_loop(conn, workload: ShardWorkload, shard_id: int, plan: ShardPlan) 
             (tx.tolist(), rx.tolist()),
             sim.events_processed,
             time.perf_counter() - t0,
+            rng_states,
         )
     )
 
@@ -323,6 +467,7 @@ def _run_single(workload: ShardWorkload) -> ShardRunResult:
     """The ``shards=1`` leg: exactly the existing single-process path."""
     t0 = time.perf_counter()
     world, proto = _build_worker_world(workload, defer_audit=False)
+    _schedule_rounds(world.sim, proto, workload)
     for i, (when, src) in enumerate(workload.traffic):
         world.sim.schedule_at(float(when), proto.send_data, int(src), None, i + 1)
     world.sim.run()
@@ -346,6 +491,7 @@ def _run_single(workload: ShardWorkload) -> ShardRunResult:
                 "wall_clock_s": time.perf_counter() - t0,
             }
         ],
+        rng_states=world.sim.node_rng_states(),
     )
 
 
@@ -400,6 +546,7 @@ def run_sharded(
         nexts = [_recv(conn)[1] for conn in pipes]
         pending: list[list] = [[] for _ in range(shards)]
         pending_alive: list[list] = [[] for _ in range(shards)]
+        pending_routes: list[list] = [[] for _ in range(shards)]
         in_flight: list[float] = []
         windows = 0
         while True:
@@ -419,9 +566,12 @@ def run_sharded(
                 )
             grant = horizon + lookahead
             for s, conn in enumerate(pipes):
-                conn.send(("advance", grant, pending[s], pending_alive[s]))
+                conn.send(
+                    ("advance", grant, pending[s], pending_alive[s], pending_routes[s])
+                )
             pending = [[] for _ in range(shards)]
             pending_alive = [[] for _ in range(shards)]
+            pending_routes = [[] for _ in range(shards)]
             in_flight = []
             for s, conn in enumerate(pipes):
                 msg = _recv(conn)
@@ -429,15 +579,21 @@ def run_sharded(
                 for exp in msg[2]:
                     pending[int(owners[exp[1]])].append(exp)
                     in_flight.append(exp[0])
-                for node, up in msg[3]:
+                for node, up, died in msg[3]:
                     for h in plan.halo_shards(float(xs[node])):
                         if h != s:
-                            pending_alive[h].append((node, up))
+                            pending_alive[h].append((node, up, died))
+                for node, hop, seq in msg[4]:
+                    for h in plan.halo_shards(float(xs[node])):
+                        if h != s:
+                            pending_routes[h].append((node, hop, seq))
             for lst in pending:
                 # Deterministic injection order regardless of which
                 # shard reported first: by (arrive, receiver).
                 lst.sort(key=lambda e: (e[0], e[1]))
             for lst in pending_alive:
+                lst.sort()
+            for lst in pending_routes:
                 lst.sort()
 
         for conn in pipes:
@@ -459,6 +615,11 @@ def run_sharded(
     conservation = None
     if merged.ledger is not None:
         conservation = assert_conserved(merged, strict=True)
+    rng_states: dict[int, dict] = {}
+    for p in payloads:
+        # Disjoint by construction: a node's substream only ever
+        # advances on its owner (draws are keyed by the acting node).
+        rng_states.update(p[5])
     result = ShardRunResult(
         shards=shards,
         metrics=merged,
@@ -471,6 +632,7 @@ def run_sharded(
             {"shard": s, "events_processed": p[3], "wall_clock_s": p[4]}
             for s, p in enumerate(payloads)
         ],
+        rng_states=dict(sorted(rng_states.items())),
     )
     if trace_path is not None:
         _write_trace(trace_path, result)

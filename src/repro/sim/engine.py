@@ -5,7 +5,13 @@ events with a monotonically increasing tie-break counter so that events
 scheduled at the same simulated time fire in scheduling order.  All
 randomness used by higher layers flows through :attr:`Simulator.rng`, a
 ``numpy.random.Generator`` seeded at construction, which makes every
-simulation reproducible from ``(topology seed, protocol seed)``.
+simulation reproducible from ``(topology seed, protocol seed)``.  Draws
+made *on behalf of a specific node* (MAC jitter/backoff, per-link loss)
+instead come from :meth:`Simulator.node_rng` — a per-node substream
+derived as ``SeedSequence(entropy=seed, spawn_key=(node_id,))`` — so a
+node's draw sequence is a pure function of ``(seed, node_id)``,
+independent of the global draw order.  That independence is what lets
+the sharded executor replay draws bit-identically on any worker count.
 
 The engine is single-threaded on purpose.  Per the optimisation guidance in
 the HPC coding guides, the engine is kept simple and legible; the hot paths
@@ -124,6 +130,8 @@ class Simulator:
         self._events_processed = 0
         self._idle_hooks: list[Callable[[], None]] = []
         self.rng: np.random.Generator = np.random.default_rng(seed)
+        self._node_entropy = np.random.SeedSequence(seed).entropy
+        self._node_rngs: dict[int, np.random.Generator] = {}
 
     # ------------------------------------------------------------------
     # time
@@ -185,6 +193,43 @@ class Simulator:
         """
         key = self.peek_key()
         return None if key is None else key[0]
+
+    # ------------------------------------------------------------------
+    # per-node randomness
+    # ------------------------------------------------------------------
+    def node_rng(self, node_id: int) -> np.random.Generator:
+        """The dedicated random stream of ``node_id`` (lazily created).
+
+        Streams derive as ``SeedSequence(entropy=seed, spawn_key=(node_id,))``,
+        so each node's draw sequence is a pure function of ``(seed,
+        node_id)`` — independent of creation order, of how many other
+        nodes draw, and of which process hosts the node.  This is the
+        shard-safety primitive: jitter/backoff/loss draws are keyed by
+        the *acting* node (the frame's sender) instead of consuming the
+        shared :attr:`rng`, so any worker replays exactly the draws its
+        nodes would have made in a single-process run.
+        """
+        gen = self._node_rngs.get(node_id)
+        if gen is None:
+            seq = np.random.SeedSequence(
+                entropy=self._node_entropy, spawn_key=(int(node_id),)
+            )
+            gen = np.random.default_rng(seq)
+            self._node_rngs[node_id] = gen
+        return gen
+
+    def node_rng_states(self) -> dict[int, dict]:
+        """Final bit-generator states of every spawned per-node stream.
+
+        Only nodes whose stream was actually touched have entries.  The
+        sharded executor ships each worker's owned entries home so the
+        digest-equality tests can pin the partitioned streams end to end
+        (same draws *and* same leftover state at every worker count).
+        """
+        return {
+            int(i): gen.bit_generator.state
+            for i, gen in sorted(self._node_rngs.items())
+        }
 
     # ------------------------------------------------------------------
     # scheduling

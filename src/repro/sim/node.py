@@ -131,6 +131,16 @@ class Node:
         """
         return self.energy.alive and not self.failed and not self.sleeping
 
+    @property
+    def died_at(self) -> Optional[float]:
+        """Battery-death time, or None while the battery lives.
+
+        Same contract as the struct-of-arrays ``NodeView.died_at``:
+        battery exhaustion only — injected failures keep residual energy
+        and leave this None.
+        """
+        return self.energy.died_at
+
     def receive(self, packet: "Packet") -> None:
         """Hand a delivered packet to the registered protocol handler."""
         if self.handler is not None and self.alive:

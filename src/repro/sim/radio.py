@@ -195,28 +195,38 @@ class Channel:
         # bursts instead of resetting every chain.
         self._link_bad: dict[tuple[int, int], bool] = {}
 
-    def _jitter(self) -> float:
-        """One uniform backoff draw, or exactly zero without burning a
-        draw when the window is zero (``RadioConfig.ideal()``)."""
+    def _jitter(self, node: int) -> float:
+        """One uniform backoff draw from ``node``'s own stream, or exactly
+        zero without burning a draw when the window is zero
+        (``RadioConfig.ideal()``).
+
+        Keying the draw by the acting node (the frame's sender) makes the
+        jitter sequence a pure function of ``(seed, node)`` — the
+        partitioned-stream property sharded execution relies on.
+        """
         window = self.config.backoff_window
         if window <= 0.0:
             return 0.0
-        return self.sim.rng.uniform(0.0, window)
+        return self.sim.node_rng(node).uniform(0.0, window)
 
     def _burst_losses(self, sender: int, receivers) -> list[bool]:
         """Advance the per-link burst chains one step and draw losses.
 
         ``receivers`` are the intended receivers in neighbor order.  The
         draws are taken as one ``(k, 2)`` batch — transition then loss
-        per receiver — which consumes the RNG stream in exactly the
-        order a scalar two-draws-per-receiver loop would, so both
-        fan-out paths share this helper and stay bit-identical.
+        per receiver — from the *sender's* per-node stream: every link
+        chain ``(sender, *)`` is advanced only by the sender's own
+        fan-outs, so both the chain state and the draw sequence live
+        entirely on whichever process owns the sender.  The batch
+        consumes the stream in exactly the order a scalar
+        two-draws-per-receiver loop would, so the fan-out paths share
+        this helper and stay bit-identical.
         """
         ge = self.config.burst
         k = len(receivers)
         if k == 0:
             return []
-        draws = self.sim.rng.random((k, 2))
+        draws = self.sim.node_rng(sender).random((k, 2))
         states = self._link_bad
         lost: list[bool] = []
         for i, nb in enumerate(receivers):
@@ -249,25 +259,34 @@ class Channel:
         (one ``cells_in_band`` query per shard); their fan-outs skip the
         ownership mask entirely.
 
-        Only draw-free radios can shard: loss draws, burst chains and
-        medium observation consume the global RNG stream / medium state
-        in cross-shard-visible order, which no conservative protocol can
-        reproduce locally.
+        Loss draws, burst chains, backoff and ARQ jitter all shard
+        cleanly because they come from the acting sender's per-node
+        stream (:meth:`Simulator.node_rng`) and are drawn before the
+        ownership split — the sender's owner makes exactly the draws a
+        single-process run would.  Only a *observed medium* (CSMA
+        carrier sensing, receiver-side collisions) cannot shard: the
+        medium is global state no conservative protocol can reproduce
+        locally.
         """
         if self._medium_observed:
             raise ConfigurationError(
                 "sharded execution requires csma=False and collisions=False "
                 "(the medium is global state)"
             )
-        if self.config.loss_rate > 0.0 or self.config.burst is not None:
-            raise ConfigurationError(
-                "sharded execution requires a lossless radio: loss draws "
-                "consume the RNG stream in global event order"
-            )
         self._shard_owned = np.asarray(owned, dtype=bool)
         self._shard_interior = (
             None if interior is None else np.asarray(interior, dtype=bool)
         )
+
+    def owns(self, node: int) -> bool:
+        """Whether this process simulates ``node`` authoritatively.
+
+        Always ``True`` unsharded.  Protocol-layer actions that every
+        replicated world would otherwise perform (MLR's round-boundary
+        NOTIFY floods) gate on this so exactly one worker puts the frame
+        on the air.
+        """
+        return self._shard_owned is None or bool(self._shard_owned[node])
 
     def take_shard_exports(self) -> list[tuple]:
         """Drain and return receptions exported since the last call."""
@@ -290,36 +309,82 @@ class Channel:
     def _shard_split(
         self, sender: int, packet: Packet, attempt: int,
         neighbors: np.ndarray, start: float, end: float,
-    ) -> Optional[np.ndarray]:
+    ) -> Optional[tuple[np.ndarray, bool]]:
         """Partition a fan-out into locally-delivered and exported parts.
 
-        Returns the owned neighbor subset to fan out locally, or ``None``
-        when nothing local remains to do (a unicast whose destination was
-        exported).  Export times replicate the delivery schedule's float
+        Draw-then-split: when the radio is lossy, the sender's per-node
+        stream is consumed for the *full* intended receiver set in
+        neighbor order — exactly the draws the single-process fan-out
+        makes — and only the survivors are then partitioned by
+        ownership.  Returns ``(owned_neighbors, resolved)`` where
+        ``resolved`` tells the local fan-out that loss draws were
+        already taken, or ``None`` when nothing local remains to do (a
+        unicast whose destination was exported or lost on the way
+        there).  Export times replicate the delivery schedule's float
         expression ``((end + prop) - now) + now`` elementwise.
         """
         owned = self._shard_owned
         mask = owned[neighbors]
-        if mask.all():
-            return neighbors
+        cfg = self.config
         if packet.dst is not None:
-            # Unicast: only the destination ever receives under an ideal
-            # radio (non-intended neighbors observe nothing).  A remote
-            # destination ships as one message; an absent one falls
-            # through so the local fan-out records the no_link drop.
-            if not owned[packet.dst] and bool((neighbors == packet.dst).any()):
-                prop = self.network.distance(sender, packet.dst) / _SPEED_OF_LIGHT
-                arrive = ((end + prop) - start) + start
-                self._shard_out.append((arrive, int(packet.dst), sender, packet, attempt))
+            dst = packet.dst
+            if not owned[dst] and bool((neighbors == dst).any()):
+                # Remote destination: make its loss draw here — the
+                # exact ``random(k)`` batch the local vectorized fan-out
+                # would have taken — then either ship the reception or
+                # count the loss and arm the sender-side ARQ retry.
+                k = int((neighbors == dst).sum())
+                lost = False
+                if cfg.burst is not None:
+                    lost = any(self._burst_losses(sender, [int(dst)] * k))
+                elif cfg.loss_rate > 0.0:
+                    draws = self.sim.node_rng(sender).random(k)
+                    lost = bool((draws < cfg.loss_rate).any())
+                prop = self.network.distance(sender, dst) / _SPEED_OF_LIGHT
+                arrive = end + prop
+                if lost:
+                    self.metrics.on_drop("loss")
+                    self.sim.schedule(
+                        arrive - start, self._maybe_retry, sender, packet, attempt
+                    )
+                    return None
+                self._shard_out.append(
+                    ((arrive - start) + start, int(dst), sender, packet, attempt)
+                )
                 return None
-            return neighbors[mask]
-        remote = neighbors[~mask]
-        props = self.network.distances_from(sender, remote) / _SPEED_OF_LIGHT
-        times = ((end + props) - start) + start
-        out = self._shard_out
-        for arrive, nb in zip(times.tolist(), remote.tolist()):
-            out.append((arrive, nb, sender, packet, attempt))
-        return neighbors[mask]
+            # Owned (or absent) destination: the local fan-out makes the
+            # destination's loss draw itself, from the sender's stream —
+            # non-intended neighbors observe nothing under an unobserved
+            # medium, so dropping them changes no draw.
+            return neighbors[mask], False
+        if mask.all() and cfg.loss_rate <= 0.0 and cfg.burst is None:
+            return neighbors, False
+        # Broadcast: draw losses for the full neighbor set first (the
+        # single-process draw), then split the survivors.
+        lost_arr = None
+        if cfg.burst is not None:
+            lost_arr = np.asarray(
+                self._burst_losses(sender, neighbors.tolist()), dtype=bool
+            )
+        elif cfg.loss_rate > 0.0:
+            lost_arr = self.sim.node_rng(sender).random(len(neighbors)) < cfg.loss_rate
+        if lost_arr is not None and lost_arr.any():
+            for _ in range(int(lost_arr.sum())):
+                self.metrics.on_drop("loss")
+            keep = ~lost_arr
+            survivors = neighbors[keep]
+            smask = mask[keep]
+        else:
+            survivors = neighbors
+            smask = mask
+        remote = survivors[~smask]
+        if len(remote):
+            props = self.network.distances_from(sender, remote) / _SPEED_OF_LIGHT
+            times = ((end + props) - start) + start
+            out = self._shard_out
+            for arrive, nb in zip(times.tolist(), remote.tolist()):
+                out.append((arrive, nb, sender, packet, attempt))
+        return survivors[smask], lost_arr is not None
 
     # ------------------------------------------------------------------
     def send(self, sender: int, packet: Packet) -> bool:
@@ -343,7 +408,7 @@ class Channel:
                 self.medium.prune(self.sim.now)
                 self._sends_since_prune = 0
 
-        jitter = self._jitter() if self.config.csma else 0.0
+        jitter = self._jitter(sender) if self.config.csma else 0.0
         self.sim.schedule(jitter, self._begin_tx, sender, packet)
         return True
 
@@ -362,7 +427,7 @@ class Channel:
             hearers = set(int(x) for x in self.network.neighbors(sender))
             free = self.medium.earliest_free(hearers, sender, self.sim.now)
             if free > self.sim.now:
-                backoff = self._jitter()
+                backoff = self._jitter(sender)
                 if self._store is not None:
                     # Columnar observability: when this node's current
                     # hold-off expires (absolute time).
@@ -389,36 +454,46 @@ class Channel:
         self.metrics.on_send(packet)
 
         neighbors = self.network.neighbors(sender)
+        resolved = False
         if self._shard_owned is not None and (
             self._shard_interior is None or not self._shard_interior[sender]
         ):
-            neighbors = self._shard_split(sender, packet, attempt, neighbors, start, end)
-            if neighbors is None:
+            split = self._shard_split(sender, packet, attempt, neighbors, start, end)
+            if split is None:
                 return
+            neighbors, resolved = split
         if self._batched and packet.dst is None:
-            self._fanout_batched(sender, packet, neighbors, start, end)
+            self._fanout_batched(sender, packet, neighbors, start, end, resolved)
         elif self.vectorized:
-            self._fanout_vectorized(sender, packet, attempt, neighbors, start, end)
+            self._fanout_vectorized(sender, packet, attempt, neighbors, start, end, resolved)
         else:
-            self._fanout_scalar(sender, packet, attempt, neighbors, start, end)
+            self._fanout_scalar(sender, packet, attempt, neighbors, start, end, resolved)
 
     def _fanout_scalar(
         self, sender: int, packet: Packet, attempt: int,
         neighbors: np.ndarray, start: float, end: float,
+        resolved: bool = False,
     ) -> None:
-        """The pre-refactor per-neighbor Python loop (reference path)."""
-        rng = self.sim.rng
+        """The pre-refactor per-neighbor Python loop (reference path).
+
+        ``resolved`` means a sharded split already made the loss draws
+        for this frame (and dropped the casualties), so ``neighbors``
+        are all survivors.
+        """
+        rng = None
         found_dst = packet.dst is None
         burst_lost = None
-        if self.config.burst is not None:
+        if not resolved and self.config.burst is not None:
             # Pre-draw the burst chain for the intended receivers (in
             # neighbor order — the exact sequence this loop visits them);
-            # nothing else consumes the RNG inside the loop, so the
-            # stream is identical to interleaved per-receiver draws.
+            # nothing else consumes the sender's stream inside the loop,
+            # so it is identical to interleaved per-receiver draws.
             intended_ids = [
                 int(nb) for nb in neighbors if packet.dst is None or packet.dst == nb
             ]
             burst_lost = iter(self._burst_losses(sender, intended_ids))
+        elif not resolved and self.config.loss_rate > 0.0:
+            rng = self.sim.node_rng(sender)
         for nb in neighbors:
             intended = packet.dst is None or packet.dst == nb
             if intended:
@@ -430,7 +505,7 @@ class Channel:
             else:
                 lost = (
                     intended
-                    and self.config.loss_rate > 0.0
+                    and rng is not None
                     and rng.random() < self.config.loss_rate
                 )
             if lost:
@@ -463,13 +538,15 @@ class Channel:
     def _fanout_vectorized(
         self, sender: int, packet: Packet, attempt: int,
         neighbors: np.ndarray, start: float, end: float,
+        resolved: bool = False,
     ) -> None:
         """Batched fan-out: one NumPy pass for distance/propagation/loss.
 
         Draw-order stable with :meth:`_fanout_scalar`: loss draws are taken
         as one batch in neighbor order, exactly the sequence the scalar
         loop consumes, so both paths produce identical RNG streams and
-        identical schedules.
+        identical schedules.  ``resolved`` means a sharded split already
+        made this frame's draws and ``neighbors`` are all survivors.
         """
         dst = packet.dst
         n = len(neighbors)
@@ -483,7 +560,9 @@ class Channel:
 
         loss_rate = self.config.loss_rate
         lost_l = None
-        if self.config.burst is not None:
+        if resolved:
+            pass
+        elif self.config.burst is not None:
             if dst is None:
                 lost_l = self._burst_losses(sender, nb_l)
             else:
@@ -493,13 +572,13 @@ class Channel:
                     lost_l = [nb == dst and next(flags) for nb in nb_l]
         elif loss_rate > 0.0:
             if dst is None:
-                lost_l = (self.sim.rng.random(n) < loss_rate).tolist()
+                lost_l = (self.sim.node_rng(sender).random(n) < loss_rate).tolist()
             else:
                 intended_mask = neighbors == dst
                 k = int(intended_mask.sum())
                 if k:
                     lost = np.zeros(n, dtype=bool)
-                    lost[intended_mask] = self.sim.rng.random(k) < loss_rate
+                    lost[intended_mask] = self.sim.node_rng(sender).random(k) < loss_rate
                     lost_l = lost.tolist()
 
         detect = self.config.collisions
@@ -546,6 +625,7 @@ class Channel:
     def _fanout_batched(
         self, sender: int, packet: Packet,
         neighbors: np.ndarray, start: float, end: float,
+        resolved: bool = False,
     ) -> None:
         """Broadcast fan-out as one sorted delivery run.
 
@@ -570,10 +650,12 @@ class Channel:
 
         lost = None
         loss_rate = self.config.loss_rate
-        if self.config.burst is not None:
+        if resolved:
+            pass  # a sharded split already drew; neighbors are survivors
+        elif self.config.burst is not None:
             lost = np.asarray(self._burst_losses(sender, neighbors.tolist()), dtype=bool)
         elif loss_rate > 0.0:
-            lost = self.sim.rng.random(n) < loss_rate
+            lost = self.sim.node_rng(sender).random(n) < loss_rate
 
         if lost is not None and lost.any():
             for _ in range(int(lost.sum())):
@@ -820,7 +902,7 @@ class Channel:
             # retry: the frame vanished silently before this fix.
             self.metrics.on_terminal_drop("dead_node", packet, node=sender, now=self.sim.now)
             return
-        self.sim.schedule(self._jitter(), self._begin_tx, sender, packet, attempt + 1)
+        self.sim.schedule(self._jitter(sender), self._begin_tx, sender, packet, attempt + 1)
 
     # ------------------------------------------------------------------
     def _deliver(self, receiver: int, rec, sender: int, attempt: int) -> None:

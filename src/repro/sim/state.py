@@ -227,7 +227,12 @@ class NodeStateStore:
         self.sleeping[i] = value
         self.refresh_alive(i)
 
-    def mirror_alive(self, ids: Sequence[int], alive: Sequence[bool]) -> None:
+    def mirror_alive(
+        self,
+        ids: Sequence[int],
+        alive: Sequence[bool],
+        died: Optional[Sequence[float]] = None,
+    ) -> None:
         """Apply authoritative liveness to halo-mirror rows (repro.shard).
 
         A sharded worker's rows for nodes owned by *other* shards are
@@ -236,9 +241,17 @@ class NodeStateStore:
         ``failed`` flag and :meth:`refresh_alive` — the same
         edge-detected listener path local flips take — so the network's
         maintained alive mask and cached graphs stay consistent.
+
+        ``died`` carries the owner's battery-death timestamps (``nan``
+        for a non-death flip): the routing layer's delayed liveness
+        belief (``DataPlaneForwarder._believed_alive``) reads
+        ``died_at``, so the mirror must import it for the belief to
+        flip at the same sim time on every worker.
         """
-        for i, up in zip(ids, alive):
+        for k, (i, up) in enumerate(zip(ids, alive)):
             self.failed[i] = not up
+            if died is not None:
+                self.died_at[i] = died[k]
             self.refresh_alive(i)
 
     def _kill_battery(self, i: int, now: float) -> None:
@@ -359,6 +372,23 @@ class NodeStateStore:
     def note_queued(self, i: int, delta: int = 1) -> None:
         """Adjust the pending-payload depth for node ``i``."""
         self.queue_depth[i] += delta
+
+    def mirror_route(
+        self, ids: Sequence[int], hops: Sequence[int], seqs: Sequence[int]
+    ) -> None:
+        """Apply authoritative route columns to halo-mirror rows (repro.shard).
+
+        The counterpart of :meth:`mirror_alive` for the routing summary:
+        a non-owned row's table never changes locally (protocol handlers
+        run only on the owner), so its ``next_hop``/``route_seq`` pair is
+        imported wholesale — including the owner's sequence number, which
+        is why this bypasses :meth:`note_route`'s change-detection bump.
+        Observability coherence only: the authoritative route state still
+        travels in the protocol's own control frames.
+        """
+        for i, hop, seq in zip(ids, hops, seqs):
+            self.next_hop[i] = hop
+            self.route_seq[i] = seq
 
 
 class EnergyView(object):
@@ -499,6 +529,13 @@ class NodeView(object):
     @property
     def alive(self) -> bool:
         return self._store.alive_list[self.node_id]
+
+    @property
+    def died_at(self) -> Optional[float]:
+        """Battery-death time, or None while the battery lives (the
+        same contract as ``Node.died_at`` on the object path)."""
+        v = self._store.died_at[self.node_id]
+        return None if math.isnan(v) else float(v)
 
     def receive(self, packet: "Packet") -> None:
         """Hand a delivered packet to the registered protocol handler."""

@@ -136,6 +136,20 @@ class WorldConfig:
 
             if not isinstance(self.faults, FaultPlan):
                 object.__setattr__(self, "faults", FaultPlan.from_param(self.faults))
+        # Shard-incompatible compositions fail where the config is
+        # written, not windows-deep inside a worker (repro.shard applies
+        # the same checks against its final shard count).
+        if self.shards > 1:
+            if not self.soa:
+                raise ConfigurationError(
+                    "shards > 1 requires soa=True (halo alive/route mirroring "
+                    "and per-node counters live on the struct-of-arrays store)"
+                )
+            if self.faults is not None:
+                raise ConfigurationError(
+                    "shards > 1 cannot arm a fault plan: the injector would "
+                    "fire on every shard's replicated copy of a node"
+                )
 
     def replace(self, **changes) -> "WorldConfig":
         """A copy with ``changes`` applied (fluent-builder backend)."""

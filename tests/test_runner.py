@@ -47,8 +47,8 @@ class TestRegistry:
         registered = {a.module.rsplit(".", 1)[1] for a in REGISTRY.values()}
         assert modules == registered
 
-    def test_thirteen_experiments(self):
-        assert len(REGISTRY) == 13
+    def test_fourteen_experiments(self):
+        assert len(REGISTRY) == 14
 
     def test_adapter_wraps_native_result(self):
         res = run_experiment("fig2", seed=0)

@@ -8,7 +8,9 @@ and the conservation report of the merged per-shard ledgers.  The unit
 tests pin the strip partition, the shard-safety validation and the
 ledger merge's cross-shard semantics; the integration tests replay the
 same workload at 1/2/3 workers and assert digest equality, with and
-without battery deaths.
+without battery deaths — for flooding, for the unicast discovery
+protocols (SPR, MLR) and for lossy/ARQ radios whose draws come from
+per-node RNG substreams.
 """
 
 import dataclasses
@@ -29,9 +31,10 @@ from repro.shard import (
     conservative_lookahead,
     run_sharded,
 )
+from repro.sim.mobility import FeasiblePlaces, GatewaySchedule
 from repro.sim.network import uniform_deployment
 from repro.sim.packet import MAC_HEADER_BYTES, Packet, PacketKind
-from repro.sim.radio import IEEE802154
+from repro.sim.radio import IEEE802154, GilbertElliott
 from repro.sim.trace import MetricsCollector
 from repro.world import WorldConfig
 
@@ -45,7 +48,8 @@ def _data_packet(origin: int, data_id: int) -> Packet:
 
 def _workload(
     n=150, field=200.0, comm_range=40.0, datums=12, battery=math.inf,
-    seed=3, audit=True,
+    seed=3, audit=True, shards=1, protocol="flooding", radio=None,
+    rounds=(), protocol_params=None,
 ):
     positions = uniform_deployment(n, field, seed=seed)
     gateways = np.asarray([[0.3 * field, 0.5 * field], [0.8 * field, 0.6 * field]])
@@ -56,9 +60,44 @@ def _workload(
         gateway_positions=gateways,
         comm_range=comm_range,
         traffic=traffic,
-        world=WorldConfig(audit=audit),
+        world=WorldConfig(audit=audit, shards=shards),
+        radio=IEEE802154.ideal() if radio is None else radio,
+        protocol=protocol,
+        protocol_params={} if protocol_params is None else protocol_params,
         sensor_battery=battery,
         seed=seed,
+        rounds=rounds,
+    )
+
+
+def _mlr_schedule(n=150, field=200.0, cross_strip=False):
+    """Two gateways, three feasible places; round 1 moves gateway ``n``.
+
+    The alternate place shifts along y only (strip-stable: same x keeps
+    the gateway in its round-0 strip under any vertical-cut plan) unless
+    ``cross_strip``, which sends it across the field in x instead.
+    """
+    gws = [n, n + 1]
+    spots = [(0.3 * field, 0.5 * field), (0.8 * field, 0.6 * field)]
+    alt0 = (0.75 * field, 0.5 * field) if cross_strip else (0.3 * field, 0.3 * field)
+    places = FeasiblePlaces(
+        labels=("p0a", "p0b", "p1a"),
+        coordinates=(spots[0], alt0, spots[1]),
+    )
+    return GatewaySchedule(
+        places=places,
+        rounds=[{gws[0]: "p0a", gws[1]: "p1a"}, {gws[0]: "p0b", gws[1]: "p1a"}],
+    )
+
+
+def _mlr_workload(n=150, field=200.0, cross_strip=False, rounds=(0.0, 2.0), **kw):
+    schedule = _mlr_schedule(n=n, field=field, cross_strip=cross_strip)
+    return _workload(
+        n=n, field=field,
+        protocol="mlr",
+        protocol_params={"schedule": schedule},
+        rounds=rounds,
+        **kw,
     )
 
 
@@ -130,11 +169,52 @@ class TestPlan:
 
 
 # ----------------------------------------------------------------------
+# halo route-column mirroring on the SoA store
+# ----------------------------------------------------------------------
+class TestRouteMirror:
+    def test_mirror_route_overwrites_without_seq_bump(self):
+        from repro.sim.node import NodeKind
+        from repro.sim.state import NodeStateStore
+
+        store = NodeStateStore([NodeKind.SENSOR] * 3, [math.inf] * 3)
+        store.note_route(0, 2)  # a local observation bumps the seq
+        assert store.route_seq[0] == 1
+        store.mirror_route([0, 1], [5, 2], [7, 1])
+        assert list(store.next_hop[:2]) == [5, 2]
+        assert list(store.route_seq[:2]) == [7, 1]
+        # Mirroring imports the owner's sequence wholesale; re-applying
+        # the same state is idempotent, unlike a note_route change-bump.
+        store.mirror_route([0], [5], [7])
+        assert store.route_seq[0] == 7
+
+    def test_note_route_none_clears_to_sentinel(self):
+        from repro.sim.node import NodeKind
+        from repro.sim.state import NO_ROUTE, NodeStateStore
+
+        store = NodeStateStore([NodeKind.SENSOR] * 2, [math.inf] * 2)
+        store.note_route(1, 0)
+        store.note_route(1, None)
+        assert store.next_hop[1] == NO_ROUTE
+        assert store.route_seq[1] == 2
+
+
+# ----------------------------------------------------------------------
 # shard-safety validation
 # ----------------------------------------------------------------------
 class TestValidation:
-    def test_rejects_non_shard_safe_protocol(self):
-        w = dataclasses.replace(_workload(), protocol="gossiping")
+    def test_rejects_non_shard_safe_protocol_at_construction(self):
+        # Construction site: ShardWorkload.__post_init__ runs the same
+        # validation run_sharded does, and names the supported set.
+        with pytest.raises(ConfigurationError, match="not shard-safe") as err:
+            dataclasses.replace(_workload(), protocol="gossiping")
+        for supported in ("flooding", "spr", "mlr"):
+            assert supported in str(err.value)
+
+    def test_rejects_non_shard_safe_protocol_at_run(self):
+        # Execution site: a workload mutated after construction still
+        # fails inside run_sharded, not windows-deep in a worker.
+        w = _workload()
+        w.protocol = "gossiping"
         with pytest.raises(ConfigurationError, match="not shard-safe"):
             run_sharded(w, shards=2)
 
@@ -152,15 +232,51 @@ class TestValidation:
         with pytest.raises(ConfigurationError, match="fault plan"):
             run_sharded(w, shards=2)
 
-    def test_rejects_contended_or_lossy_radio(self):
+    def test_worldconfig_rejects_shard_compositions_at_construction(self):
+        # The same two composition rules fire where the *config* is
+        # written, before any workload exists.
+        from repro.faults.plan import Crash, FaultPlan
+
+        with pytest.raises(ConfigurationError, match="soa=True"):
+            WorldConfig(shards=2, soa=False)
+        with pytest.raises(ConfigurationError, match="fault plan"):
+            WorldConfig(shards=2, faults=FaultPlan((Crash(node=0, t=1.0),)))
+
+    def test_rejects_contended_radio(self):
         for bad in (
             dataclasses.replace(IEEE802154.ideal(), csma=True),
             dataclasses.replace(IEEE802154.ideal(), collisions=True),
-            dataclasses.replace(IEEE802154.ideal(), loss_rate=0.1),
         ):
             w = dataclasses.replace(_workload(), radio=bad)
-            with pytest.raises(ConfigurationError):
+            with pytest.raises(ConfigurationError, match="csma"):
                 run_sharded(w, shards=2)
+
+    def test_lossy_arq_radio_is_shard_safe(self):
+        # Loss, burst, ARQ and backoff draw from per-node substreams, so
+        # a sharded WorldConfig accepts them at construction.
+        lossy = dataclasses.replace(
+            IEEE802154.ideal(), loss_rate=0.2, arq_retries=2,
+            burst=GilbertElliott(p_gb=0.1, p_bg=0.4),
+        )
+        w = _workload(radio=lossy, shards=2)
+        assert w.world.shards == 2
+
+    def test_mlr_needs_a_schedule_and_sane_rounds(self):
+        with pytest.raises(ConfigurationError, match="GatewaySchedule"):
+            _workload(protocol="mlr")
+        with pytest.raises(ConfigurationError, match="rounds only apply"):
+            _workload(rounds=(0.0, 1.0))
+        with pytest.raises(ConfigurationError, match="strictly increasing"):
+            _mlr_workload(rounds=(1.0, 1.0))
+        with pytest.raises(ConfigurationError, match="only has 2"):
+            _mlr_workload(rounds=(0.0, 1.0, 2.0))
+
+    def test_rejects_cross_strip_mlr_schedule(self):
+        with pytest.raises(ConfigurationError, match="strip-stable"):
+            _mlr_workload(cross_strip=True, shards=2)
+        # The same schedule is fine single-process: ownership never
+        # enters the picture at one shard.
+        assert _mlr_workload(cross_strip=True).world.shards == 1
 
     def test_worldconfig_validates_shards(self):
         assert WorldConfig(shards=4).shards == 4
@@ -226,6 +342,65 @@ class TestMergeLedgers:
         assert entry.state is DatumState.DELIVERED
         assert entry.superseded_drop == "dead_node"
         assert merged.late_drops == Counter({"dead_node": 1})
+
+    def test_equal_time_superseded_drop_is_report_order_independent(self):
+        """A drop tying a delivery's timestamp resolves the same way
+        however many shards reported and in whatever order.
+
+        The superseded reason is picked by the full ``(time, reason,
+        node)`` key, not by report order — with equal times the
+        lexicographically smallest reason wins on every permutation.
+        """
+        import itertools
+
+        def merge_in(order):
+            gen = PacketLedger()
+            gen.on_generated(1, 1, now=0.0)
+            d1 = PacketLedger()
+            d1.on_dropped("ttl", key=(1, 1), node=9, now=2.0)
+            d2 = PacketLedger()
+            d2.on_dropped("dead_node", key=(1, 1), node=4, now=2.0)
+            dv = PacketLedger()
+            dv.on_delivered(_data_packet(1, 1), now=2.0)
+            parts = {"g": gen, "d1": d1, "d2": d2, "v": dv}
+            return merge_ledgers([parts[k] for k in order])
+
+        outcomes = set()
+        for order in itertools.permutations(("g", "d1", "d2", "v")):
+            merged = merge_in(order)
+            entry = merged.entries[(1, 1)]
+            outcomes.add((
+                entry.state, entry.terminal_at, entry.superseded_drop,
+                tuple(sorted(merged.late_drops.items())),
+            ))
+        assert outcomes == {(
+            DatumState.DELIVERED, 2.0, "dead_node",
+            (("dead_node", 1), ("ttl", 1)),
+        )}
+
+    def test_equal_time_terminal_drops_pick_one_winner(self):
+        """Two same-timestamp drops with no delivery: the merged reason
+        and node are permutation-independent too (same full-key rule)."""
+        import itertools
+
+        outcomes = set()
+        for order in itertools.permutations(range(3)):
+            gen = PacketLedger()
+            gen.on_generated(3, 3, now=0.0)
+            d1 = PacketLedger()
+            d1.on_dropped("ttl", key=(3, 3), node=7, now=1.5)
+            d2 = PacketLedger()
+            d2.on_dropped("dead_node", key=(3, 3), node=2, now=1.5)
+            parts = [gen, d1, d2]
+            merged = merge_ledgers([parts[i] for i in order])
+            entry = merged.entries[(3, 3)]
+            outcomes.add((
+                entry.state, entry.terminal_at, entry.reason, entry.node,
+                tuple(sorted(merged.extra_drops.items())),
+            ))
+        assert outcomes == {
+            (DatumState.DROPPED, 1.5, "dead_node", 2, (("ttl", 1),))
+        }
 
     def test_duplicate_cross_shard_deliveries_count_once(self):
         a, b = PacketLedger(), PacketLedger()
@@ -361,6 +536,62 @@ class TestBitIdentity:
         assert legs[3].metrics.first_death == legs[1].metrics.first_death
         assert legs[3].conservation.to_jsonable() == legs[1].conservation.to_jsonable()
 
+    def test_spr_workers_match_single_process(self):
+        w = _workload(protocol="spr", seed=7)
+        legs = self._legs(w, (1, 2, 3))
+        for s in (2, 3):
+            assert legs[s].digest == legs[1].digest
+            assert legs[s].conservation.to_jsonable() == legs[1].conservation.to_jsonable()
+            assert legs[s].rng_states == legs[1].rng_states
+        # Routes actually formed: unicast data reached a gateway.
+        assert {(r.origin, r.uid) for r in legs[1].metrics.deliveries}
+
+    def test_spr_three_workers_with_boundary_band_deaths(self):
+        """Unicast digests survive deaths whose alive-flips must mirror.
+
+        The tight battery kills relays mid-run; the first death lands
+        inside the boundary band (within comm_range of a cut), so the
+        flip crosses the pipe protocol and next-hop state goes stale on
+        the far side — exactly the regime the route-mirroring and RERR
+        repair paths exist for.
+        """
+        w = _workload(n=200, datums=40, battery=0.006, seed=11, protocol="spr")
+        legs = self._legs(w, (1, 3))
+        assert legs[3].digest == legs[1].digest
+        assert legs[1].metrics.first_death is not None  # deaths happened
+        assert legs[3].metrics.first_death == legs[1].metrics.first_death
+        assert legs[3].conservation.to_jsonable() == legs[1].conservation.to_jsonable()
+        plan = ShardPlan.build(w.positions, w.comm_range, 3)
+        dead_x = float(w.positions[legs[1].metrics.first_death[0], 0])
+        assert min(abs(dead_x - c) for c in plan.cuts) <= w.comm_range
+
+    def test_mlr_workers_match_single_process(self):
+        """MLR shards bit-identically through a gateway relocation.
+
+        Traffic straddles the round-1 move at t=2.0, so discovery
+        floods, NOTIFY broadcasts and unicast forwarding all cross shard
+        boundaries both before and after the topology change.
+        """
+        w = _mlr_workload(seed=5)
+        legs = self._legs(w, (1, 2, 3))
+        for s in (2, 3):
+            assert legs[s].digest == legs[1].digest
+            assert legs[s].conservation.to_jsonable() == legs[1].conservation.to_jsonable()
+            assert legs[s].rng_states == legs[1].rng_states
+        assert {(r.origin, r.uid) for r in legs[1].metrics.deliveries}
+
+    def test_lossy_arq_draws_match_across_workers(self):
+        lossy = dataclasses.replace(
+            IEEE802154.ideal(), loss_rate=0.15, arq_retries=2,
+            burst=GilbertElliott(p_gb=0.05, p_bg=0.3),
+        )
+        legs = self._legs(_workload(radio=lossy, seed=9), (1, 2, 3))
+        assert legs[2].digest == legs[1].digest
+        assert legs[3].digest == legs[1].digest
+        assert legs[1].rng_states  # loss/backoff draws actually happened
+        assert legs[2].rng_states == legs[1].rng_states
+        assert legs[3].rng_states == legs[1].rng_states
+
     def test_worldconfig_shards_selects_the_executor(self):
         w = _workload()
         w.world = WorldConfig(audit=True, shards=2)
@@ -373,3 +604,36 @@ class TestBitIdentity:
         parts = legs[2].parts
         assert [p["shard"] for p in parts] == [0, 1]
         assert sum(p["events_processed"] for p in parts) == legs[2].events_processed
+
+
+# ----------------------------------------------------------------------
+# RNG partitioning: seed -> per-node substream, worker-count invariant
+# ----------------------------------------------------------------------
+class TestRngPartition:
+    @given(
+        loss=st.sampled_from([0.0, 0.1, 0.3]),
+        burst=st.booleans(),
+        retries=st.integers(min_value=0, max_value=2),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_per_node_draws_identical_at_1_2_3_workers(
+        self, loss, burst, retries, seed
+    ):
+        """Every node's draw sequence is a pure function of (seed, id).
+
+        Equal final bit-generator states at 1/2/3 workers mean the
+        backoff and Gilbert-Elliott loss draws each node made — count
+        and order — were identical on whichever worker simulated it, so
+        the digests cannot diverge through the RNG.
+        """
+        radio = dataclasses.replace(
+            IEEE802154.ideal(), loss_rate=loss, arq_retries=retries,
+            burst=GilbertElliott(p_gb=0.08, p_bg=0.35) if burst else None,
+        )
+        w = _workload(n=90, field=160.0, datums=6, seed=seed, radio=radio)
+        legs = {s: run_sharded(w, shards=s) for s in (1, 2, 3)}
+        assert legs[2].digest == legs[1].digest
+        assert legs[3].digest == legs[1].digest
+        assert legs[2].rng_states == legs[1].rng_states
+        assert legs[3].rng_states == legs[1].rng_states
