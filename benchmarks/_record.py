@@ -84,6 +84,18 @@ def write_bench(name: str, record: dict, path: Optional[str] = None) -> str:
         history = list(prior.pop("history", []) or [])
         history.append(prior)
     record["history"] = history[-HISTORY_LIMIT:]
-    with open(path, "w") as fh:
-        fh.write(json.dumps(record, indent=2) + "\n")
+    # Atomic replace (same idiom as the runner's ResultCache): a killed
+    # or crashed benchmark can never leave a truncated BENCH file behind
+    # — readers see the complete old record or the complete new one.
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w") as fh:
+            fh.write(json.dumps(record, indent=2) + "\n")
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):  # replace failed midway
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
     return path

@@ -14,6 +14,7 @@ Gossiping
 
 from __future__ import annotations
 
+import functools
 import itertools
 from typing import Optional
 
@@ -89,10 +90,11 @@ class Flooding:
         return data_id
 
     def _make_handler(self, node_id: int):
-        def handler(pkt: Packet) -> None:
-            self._on_packet(node_id, pkt)
-
-        return handler
+        # functools.partial instead of a closure (same shape as
+        # repro.core.base): the bound call skips a Python frame, and —
+        # unlike a closure — it pickles, which barrier checkpointing of
+        # sharded flooding worlds requires.
+        return functools.partial(self._on_packet, node_id)
 
     def _on_packet(self, node_id: int, pkt: Packet) -> None:
         if pkt.kind is not PacketKind.DATA:

@@ -45,6 +45,70 @@ class ConfigurationError(ReproError):
     """Raised when user-supplied configuration is inconsistent."""
 
 
+class ShardWorkerError(SimulationError):
+    """A sharded-execution worker process failed.
+
+    Carries enough structure for the coordinator's supervision loop to
+    decide what to do next:
+
+    ``shard``
+        Which worker failed.
+    ``kind``
+        ``"remote"`` — the worker raised a Python exception and shipped
+        its traceback (``detail``) before exiting; deterministic, never
+        retried.  ``"died"`` — the process vanished without a final
+        message (SIGKILL, OOM, a closed pipe); ``exitcode`` holds the
+        exit status when known.  ``"deadline"`` — the worker stayed
+        alive but did not answer within the configured per-window
+        timeout.  Deaths and deadline expiries are *retryable*: with
+        checkpointing enabled the coordinator respawns the gang from
+        the last barrier checkpoint.
+    ``phase``
+        The protocol step being waited on (``"ready"``, ``"window"``,
+        ``"saved"``, ``"done"``).
+    """
+
+    def __init__(
+        self,
+        shard: int,
+        kind: str,
+        phase: str = "",
+        detail: str = "",
+        exitcode=None,
+    ) -> None:
+        self.shard = int(shard)
+        self.kind = kind
+        self.phase = phase
+        self.detail = detail
+        self.exitcode = exitcode
+        where = f"shard worker {shard}" + (f" (awaiting {phase!r})" if phase else "")
+        if kind == "remote":
+            msg = f"{where} failed:\n{detail}"
+        elif kind == "died":
+            msg = f"{where} died" + (
+                f" with exit code {exitcode}" if exitcode is not None else ""
+            ) + (f": {detail}" if detail else "")
+        else:
+            msg = f"{where} missed its deadline" + (f": {detail}" if detail else "")
+        super().__init__(msg)
+
+    @property
+    def retryable(self) -> bool:
+        """Whether respawning the gang from a checkpoint can help.
+
+        Remote Python exceptions are deterministic — the respawned gang
+        would replay the identical failure — so only process deaths and
+        deadline expiries qualify.
+        """
+        return self.kind in ("died", "deadline")
+
+
+class CheckpointError(ReproError):
+    """Raised when a barrier checkpoint cannot be written, located or
+    restored (missing manifest, shard-count mismatch, corrupt column
+    checksum, a snapshot attempted mid-``run``)."""
+
+
 class ConservationError(ReproError):
     """Raised when the packet-conservation invariant is violated.
 

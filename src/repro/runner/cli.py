@@ -69,6 +69,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="append per-cell JSONL trace records to PATH",
     )
     parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per cell; an overrunning cell is recorded "
+        "as failed (and not cached) instead of wedging the sweep",
+    )
+    parser.add_argument(
         "--tables", action="store_true",
         help="also print each per-seed paper-style table",
     )
@@ -109,14 +114,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         params = json.loads(args.params) if args.params else {}
         if not isinstance(params, dict):
             raise ReproError("--params must be a JSON object")
-        spec = ExperimentSpec(experiment=args.experiment, params=params, seeds=seeds)
+        spec = ExperimentSpec(
+            experiment=args.experiment, params=params, seeds=seeds,
+            timeout_s=args.timeout,
+        )
     except (ReproError, ValueError) as exc:
         parser.error(str(exc))
 
     def progress(done: int, total: int, record: dict) -> None:
         if args.quiet:
             return
-        source = "cache" if record["cache_hit"] else f"{record['wall_clock_s']:.2f}s"
+        if record.get("failed"):
+            source = f"FAILED after {record['wall_clock_s']:.2f}s"
+        elif record["cache_hit"]:
+            source = "cache"
+        else:
+            source = f"{record['wall_clock_s']:.2f}s"
         print(
             f"[{done}/{total}] {record['experiment']} seed={record['seed']} "
             f"({source}, {record['events_processed']} events)",
@@ -141,12 +154,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.tables:
         for outcome in sweep.cells:
             print(f"\n=== {outcome.experiment} seed={outcome.seed} ===")
-            print(outcome.result.format_table())
+            if outcome.failed:
+                print(f"(failed: {outcome.error})")
+            else:
+                print(outcome.result.format_table())
         print()
     print(sweep.format_summary())
     stats = sweep.stats.as_dict()
     print(
         f"\ncells={stats['cells_total']} simulated={stats['simulated']} "
+        f"failed={stats['failed']} "
         f"cache_hits={stats['cache_hits']} cache_misses={stats['cache_misses']} "
         f"events={stats['events_processed']} wall={stats['wall_clock_s']}s"
     )

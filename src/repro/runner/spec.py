@@ -68,10 +68,13 @@ def _canonical(value):
 
     Dataclasses collapse to their tagged jsonable form (then recurse, so
     nested configs normalize too); ``WorldConfig``-tagged dicts drop the
-    execution-only ``shards`` field.  Everything else passes through
-    untouched — unrecognized containers still fall back to
-    :func:`_encode_param` inside ``json.dumps``, preserving the
-    historical encoding byte-for-byte.
+    execution-only fields — ``shards``, ``checkpoint_dir`` and
+    ``checkpoint_every`` select how (and how durably) a cell runs, never
+    what it computes, so checkpointed, sharded and plain runs all share
+    one cache entry.  Everything else passes through untouched —
+    unrecognized containers still fall back to :func:`_encode_param`
+    inside ``json.dumps``, preserving the historical encoding
+    byte-for-byte.
     """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return _canonical(to_jsonable(value))
@@ -80,7 +83,8 @@ def _canonical(value):
         if out.get("__dataclass__") == "WorldConfig":
             fields = out.get("fields")
             if isinstance(fields, dict):
-                fields.pop("shards", None)
+                for execution_only in ("shards", "checkpoint_dir", "checkpoint_every"):
+                    fields.pop(execution_only, None)
         return out
     if isinstance(value, (list, tuple)):
         return [_canonical(v) for v in value]
@@ -117,11 +121,18 @@ def parse_seeds(text: str) -> tuple[int, ...]:
 @serializable
 @dataclass
 class SweepCell:
-    """One (experiment, params, seed) simulation unit."""
+    """One (experiment, params, seed) simulation unit.
+
+    ``timeout_s`` is a wall-clock budget for executing the cell — an
+    execution knob, not identity: :func:`cache_key` hashes only
+    ``(experiment, params, seed, version)``, so timed and untimed runs
+    of the same cell share a cache entry.
+    """
 
     experiment: str
     params: dict
     seed: int
+    timeout_s: Optional[float] = None
 
     @property
     def key(self) -> str:
@@ -134,12 +145,16 @@ class ExperimentSpec:
     """An experiment name, parameter overrides, and the seeds to run.
 
     ``seeds`` may be given as an iterable of ints or the string syntax
-    of :func:`parse_seeds` (``"0..7"``).
+    of :func:`parse_seeds` (``"0..7"``).  ``timeout_s`` bounds the wall
+    clock of every cell the spec expands into; a cell that exceeds it is
+    recorded as failed (never cached, skipped by aggregation) instead of
+    wedging the whole sweep.
     """
 
     experiment: str
     params: dict = field(default_factory=dict)
     seeds: tuple = (0,)
+    timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.seeds, str):
@@ -148,11 +163,22 @@ class ExperimentSpec:
             self.seeds = tuple(int(s) for s in self.seeds)
         if len(set(self.seeds)) != len(self.seeds):
             raise ConfigurationError(f"duplicate seeds in {self.seeds!r}")
+        if self.timeout_s is not None:
+            self.timeout_s = float(self.timeout_s)
+            if not self.timeout_s > 0:
+                raise ConfigurationError(
+                    f"timeout_s must be positive, got {self.timeout_s!r}"
+                )
 
     def cells(self) -> list[SweepCell]:
         """One cell per seed, in seed order (the merge order)."""
         return [
-            SweepCell(experiment=self.experiment, params=dict(self.params), seed=s)
+            SweepCell(
+                experiment=self.experiment,
+                params=dict(self.params),
+                seed=s,
+                timeout_s=self.timeout_s,
+            )
             for s in self.seeds
         ]
 

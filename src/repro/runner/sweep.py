@@ -18,8 +18,11 @@ Determinism guarantees (see DESIGN.md):
 from __future__ import annotations
 
 import os
+import signal
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence, Union
 
@@ -39,16 +42,69 @@ __all__ = ["CellOutcome", "SweepResult", "SweepRunner"]
 ProgressFn = Callable[[int, int, dict], None]
 
 
-def _execute_cell(experiment: str, params: dict, seed: int) -> dict:
+class _CellTimeout(Exception):
+    """Internal: raised by the SIGALRM handler when a cell overruns."""
+
+
+@contextmanager
+def _cell_deadline(timeout_s: Optional[float]):
+    """Bound the wall clock of the enclosed cell via an interval timer.
+
+    Uses ``SIGALRM``/``setitimer``, which only delivers to a process's
+    main thread — exactly where cells execute (the serial path runs in
+    the caller, the parallel path in each pool worker's main thread).
+    Platforms without ``setitimer`` (Windows) and non-main threads run
+    unbounded rather than wrongly: the timeout is best-effort
+    protection, not identity.
+    """
+    if (
+        timeout_s is None
+        or not hasattr(signal, "setitimer")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _alarm(signum, frame):
+        raise _CellTimeout()
+
+    prev = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, prev)
+
+
+def _execute_cell(
+    experiment: str, params: dict, seed: int, timeout_s: Optional[float] = None
+) -> dict:
     """Run one cell and return its serialized result plus observability.
 
     Module-level so ``ProcessPoolExecutor`` can pickle it.  The result
     crosses the process boundary in serialized form — the same form the
     cache stores — so every path back to the caller decodes identically.
+
+    A cell that exceeds ``timeout_s`` returns a ``{"failed": True}``
+    envelope instead of raising: the sweep records it and carries on,
+    and the failure is never cached (a rerun with a bigger budget can
+    still produce the real result under the same cache key).
     """
     t0 = time.perf_counter()
-    with record_world_events() as recorder:
-        result = run_experiment(experiment, params, seed)
+    try:
+        with record_world_events() as recorder, _cell_deadline(timeout_s):
+            result = run_experiment(experiment, params, seed)
+    except _CellTimeout:
+        return {
+            "failed": True,
+            "error": f"cell exceeded its {timeout_s}s wall-clock budget",
+            "wall_clock_s": time.perf_counter() - t0,
+            "events_processed": recorder.events_processed,
+            "drops": recorder.drops_by_reason(),
+            "conservation": None,
+            "pid": os.getpid(),
+        }
     return {
         "payload": to_jsonable(result),
         "wall_clock_s": time.perf_counter() - t0,
@@ -78,6 +134,11 @@ class CellOutcome:
     #: Summed conservation report (see WorldEventRecorder), None when the
     #: cell ran without audit mode or was served from the cache.
     conservation: Optional[dict] = None
+    #: the cell produced no result (timeout); ``result`` is None, the
+    #: outcome is never cached and aggregation skips it.
+    failed: bool = False
+    #: human-readable failure reason when ``failed``.
+    error: Optional[str] = None
 
     def trace_record(self) -> dict:
         record = {
@@ -89,6 +150,9 @@ class CellOutcome:
             "wall_clock_s": round(self.wall_clock_s, 6),
             "events_processed": self.events_processed,
         }
+        if self.failed:
+            record["failed"] = True
+            record["error"] = self.error
         if self.drops:
             record["drops"] = dict(self.drops)
         if self.conservation is not None:
@@ -133,8 +197,12 @@ class SweepResult:
         """
         out: dict[str, dict] = {}
         for label, members in self._groups():
-            records = [m.result.result.to_dict() for m in members]
-            out[label] = aggregate_records(records, confidence=confidence)
+            records = [
+                m.result.result.to_dict() for m in members if not m.failed
+            ]
+            out[label] = (
+                aggregate_records(records, confidence=confidence) if records else {}
+            )
         return out
 
     def format_summary(self, confidence: float = 0.95, max_rows: int = 40) -> str:
@@ -251,6 +319,23 @@ class SweepRunner:
             # Phase 2: simulate the misses, serially or across workers.
             def decode(cell: SweepCell, raw: dict) -> CellOutcome:
                 stats.simulated += 1
+                if raw.get("failed"):
+                    stats.failed += 1
+                    # Deliberately not cached: a rerun with a larger
+                    # budget can still fill this cell's cache entry.
+                    return CellOutcome(
+                        experiment=cell.experiment,
+                        params=dict(cell.params),
+                        seed=cell.seed,
+                        key=cell.key,
+                        cache_hit=False,
+                        wall_clock_s=raw["wall_clock_s"],
+                        events_processed=raw["events_processed"],
+                        result=None,
+                        drops=raw.get("drops") or {},
+                        failed=True,
+                        error=raw.get("error"),
+                    )
                 outcome = CellOutcome(
                     experiment=cell.experiment,
                     params=dict(cell.params),
@@ -272,13 +357,19 @@ class SweepRunner:
                 workers = max(1, min(len(pending), os.cpu_count() or 1))
             if workers == 1 or len(pending) <= 1:
                 for cell in pending.values():
-                    raw = _execute_cell(cell.experiment, cell.params, cell.seed)
+                    raw = _execute_cell(
+                        cell.experiment, cell.params, cell.seed, cell.timeout_s
+                    )
                     finish(decode(cell, raw))
             else:
                 with ProcessPoolExecutor(max_workers=workers) as pool:
                     futures = {
                         pool.submit(
-                            _execute_cell, cell.experiment, cell.params, cell.seed
+                            _execute_cell,
+                            cell.experiment,
+                            cell.params,
+                            cell.seed,
+                            cell.timeout_s,
                         ): cell
                         for cell in pending.values()
                     }

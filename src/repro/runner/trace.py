@@ -25,6 +25,8 @@ class RunnerStats:
     simulated: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: cells that failed to produce a result (e.g. exceeded timeout_s)
+    failed: int = 0
     events_processed: int = 0
     wall_clock_s: float = 0.0
 

@@ -17,10 +17,28 @@ Entry points: :class:`~repro.shard.runner.ShardWorkload` describes the
 deployment + traffic, :func:`~repro.shard.runner.run_sharded` executes
 it with ``WorldConfig(shards=N)`` workers (``shards=1`` falls back to
 the plain single-process path).
+
+Fault tolerance: the coordinator supervises its gang through
+:class:`~repro.shard.supervise.WorkerGang` (deadline-bounded receives,
+structured :class:`~repro.exceptions.ShardWorkerError`, total teardown)
+and, when a :class:`~repro.shard.checkpoint.CheckpointConfig` is
+configured, snapshots the whole gang at window barriers and respawns
+from the last committed checkpoint after a crash — deterministically:
+the resumed run's digest and per-node RNG states equal the
+uninterrupted run's.
 """
 
+from repro.shard.checkpoint import (
+    CheckpointConfig,
+    CheckpointStore,
+    ResumePoint,
+    restore_world,
+    snapshot_world,
+    workload_key,
+)
 from repro.shard.plan import ShardPlan, conservative_lookahead
 from repro.shard.runner import ShardRunResult, ShardWorkload, run_digest, run_sharded
+from repro.shard.supervise import HarnessChaos, SupervisionConfig, WorkerGang
 
 __all__ = [
     "ShardPlan",
@@ -29,4 +47,13 @@ __all__ = [
     "ShardWorkload",
     "run_digest",
     "run_sharded",
+    "CheckpointConfig",
+    "CheckpointStore",
+    "ResumePoint",
+    "snapshot_world",
+    "restore_world",
+    "workload_key",
+    "HarnessChaos",
+    "SupervisionConfig",
+    "WorkerGang",
 ]

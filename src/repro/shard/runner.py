@@ -53,6 +53,21 @@ measure-zero for uniform random deployments: events that tie to the
 exact same float timestamp execute in sequence order, and sequence
 numbers are per-worker, so cross-shard same-timestamp ties may order
 differently than the single-process run.
+
+Fault tolerance.  Every pipe interaction runs through a supervised
+:class:`~repro.shard.supervise.WorkerGang` — a worker that dies, hangs
+past the per-window deadline, or raises remotely surfaces as a
+structured :class:`~repro.exceptions.ShardWorkerError` within a bounded
+time, and the gang is torn down on every exit path (no orphans, no
+leaked pipes).  With a checkpoint store configured
+(:mod:`repro.shard.checkpoint`) the coordinator snapshots the whole
+gang at barrier every ``checkpoint_every`` windows and, on a retryable
+failure, respawns the gang from the last committed checkpoint — up to
+``max_restarts`` times with exponential backoff.  Because snapshots are
+side-effect-free and taken at global quiescence, a crashed-and-resumed
+run is *bit-identical* (digest and per-node RNG states) to an
+uninterrupted one; ``resume_from=`` cold-restarts a brand-new
+invocation the same way.
 """
 
 from __future__ import annotations
@@ -61,9 +76,12 @@ import hashlib
 import json
 import math
 import multiprocessing
+import os
+import signal
 import time
 import traceback
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Optional
 
 import numpy as np
@@ -71,10 +89,25 @@ import numpy as np
 from repro.baselines.flooding import Flooding
 from repro.core.mlr import MLR
 from repro.core.spr import SPR
-from repro.exceptions import ConfigurationError, SimulationError
+from repro.exceptions import (
+    CheckpointError,
+    ConfigurationError,
+    ShardWorkerError,
+    SimulationError,
+)
 from repro.obs.audit import ConservationReport, assert_conserved, audit_collector
 from repro.obs.merge import merge_collectors
+from repro.shard.checkpoint import (
+    CheckpointConfig,
+    CheckpointStore,
+    _atomic_write_bytes,
+    base_dir_for,
+    restore_world,
+    snapshot_world,
+    workload_key,
+)
 from repro.shard.plan import ShardPlan, conservative_lookahead
+from repro.shard.supervise import HarnessChaos, SupervisionConfig, WorkerGang
 from repro.sim.mobility import GatewaySchedule
 from repro.sim.radio import IEEE802154, RadioConfig
 from repro.sim.spatial import CellGrid
@@ -158,6 +191,12 @@ class ShardRunResult:
     #: owners' states, so equality with the single-process leg proves
     #: the partitioned streams were consumed identically.
     rng_states: dict = field(default_factory=dict)
+    #: gang respawns the supervision loop performed (0 = clean run)
+    restarts: int = 0
+    #: barrier checkpoints committed across all gang generations
+    checkpoints: int = 0
+    #: window the (last) resume restarted from; ``None`` = from scratch
+    resumed_window: Optional[int] = None
 
 
 # ----------------------------------------------------------------------
@@ -352,9 +391,16 @@ def _build_worker_world(workload: ShardWorkload, defer_audit: bool):
 # ----------------------------------------------------------------------
 # the worker process
 # ----------------------------------------------------------------------
-def _worker_main(conn, workload: ShardWorkload, shard_id: int, plan: ShardPlan) -> None:
+def _worker_main(
+    conn,
+    workload: ShardWorkload,
+    shard_id: int,
+    plan: ShardPlan,
+    chaos: Optional[HarnessChaos] = None,
+    resume_path: Optional[str] = None,
+) -> None:
     try:
-        _worker_loop(conn, workload, shard_id, plan)
+        _worker_loop(conn, workload, shard_id, plan, chaos, resume_path)
     except BaseException:
         try:
             conn.send(("error", traceback.format_exc()))
@@ -364,41 +410,82 @@ def _worker_main(conn, workload: ShardWorkload, shard_id: int, plan: ShardPlan) 
         conn.close()
 
 
-def _worker_loop(conn, workload: ShardWorkload, shard_id: int, plan: ShardPlan) -> None:
+def _worker_loop(
+    conn,
+    workload: ShardWorkload,
+    shard_id: int,
+    plan: ShardPlan,
+    chaos: Optional[HarnessChaos],
+    resume_path: Optional[str],
+) -> None:
     t0 = time.perf_counter()
-    positions = workload.positions
-    owned = plan.owner_of(positions) == shard_id
-    interior = plan.interior_mask(positions, shard_id)
-    world, proto = _build_worker_world(workload, defer_audit=True)
-    sim, channel, network = world.sim, world.channel, world.network
-    if workload.protocol == "mlr":
-        # Gateways relocate between rounds: their round-0 interior
-        # status goes stale the moment they move, so they always take
-        # the split path (mobility is validated strip-stable, keeping
-        # the static ownership mask correct).
-        interior[list(network.gateway_ids)] = False
-    channel.configure_sharding(owned, interior)
-    _schedule_rounds(sim, proto, workload)
-    for i, (when, src) in enumerate(workload.traffic):
-        if owned[src]:
-            sim.schedule_at(float(when), proto.send_data, int(src), None, i + 1)
+    if resume_path is not None:
+        # Thaw the barrier snapshot: the whole world object graph plus
+        # the uid watermark, exactly as the dead worker last held it.
+        # Channel sharding masks, scheduled traffic and round starts are
+        # all part of the frozen state — nothing is re-applied.
+        world, proto, extra = restore_world(Path(resume_path).read_bytes())
+        sim, channel, network = world.sim, world.channel, world.network
+        positions = workload.positions
+        owned = plan.owner_of(positions) == shard_id
+        watch = extra["watch"]
+        alive_now = extra["alive_now"]
+        route_now = extra["route_now"]
+        window_no = int(extra["window"])
+        wall_base = float(extra["wall_s"])
+        nodes = network.nodes
+        store = network.store
+    else:
+        positions = workload.positions
+        owned = plan.owner_of(positions) == shard_id
+        interior = plan.interior_mask(positions, shard_id)
+        world, proto = _build_worker_world(workload, defer_audit=True)
+        sim, channel, network = world.sim, world.channel, world.network
+        if workload.protocol == "mlr":
+            # Gateways relocate between rounds: their round-0 interior
+            # status goes stale the moment they move, so they always take
+            # the split path (mobility is validated strip-stable, keeping
+            # the static ownership mask correct).
+            interior[list(network.gateway_ids)] = False
+        channel.configure_sharding(owned, interior)
+        _schedule_rounds(sim, proto, workload)
+        for i, (when, src) in enumerate(workload.traffic):
+            if owned[src]:
+                sim.schedule_at(float(when), proto.send_data, int(src), None, i + 1)
 
-    # Watch set: owned nodes whose aliveness and route columns other
-    # shards can observe — everything in the comm_range band around this
-    # strip's boundary.
-    grid = CellGrid(positions, workload.comm_range)
-    band = grid.cells_in_band(plan.strip_rect(shard_id), workload.comm_range)
-    watch = [int(i) for i in band if owned[i]]
-    nodes = network.nodes
-    store = network.store
-    alive_now = {i: bool(nodes[i].alive) for i in watch}
-    route_now = {i: int(store.route_seq[i]) for i in watch}
+        # Watch set: owned nodes whose aliveness and route columns other
+        # shards can observe — everything in the comm_range band around
+        # this strip's boundary.
+        grid = CellGrid(positions, workload.comm_range)
+        band = grid.cells_in_band(plan.strip_rect(shard_id), workload.comm_range)
+        watch = [int(i) for i in band if owned[i]]
+        nodes = network.nodes
+        store = network.store
+        alive_now = {i: bool(nodes[i].alive) for i in watch}
+        route_now = {i: int(store.route_seq[i]) for i in watch}
+        window_no = 0
+        wall_base = 0.0
 
     conn.send(("ready", sim.next_event_time))
     while True:
         msg = conn.recv()
         if msg[0] == "finish":
             break
+        if msg[0] == "checkpoint":
+            blob = snapshot_world(
+                world,
+                proto,
+                extra={
+                    "watch": watch,
+                    "alive_now": alive_now,
+                    "route_now": route_now,
+                    "window": window_no,
+                    "wall_s": wall_base + (time.perf_counter() - t0),
+                },
+            )
+            _atomic_write_bytes(Path(msg[1]), blob)
+            conn.send(("saved", shard_id))
+            continue
         _, grant, deliveries, alive_updates, route_updates = msg
         if alive_updates:
             store.mirror_alive(
@@ -415,6 +502,7 @@ def _worker_loop(conn, workload: ShardWorkload, shard_id: int, plan: ShardPlan) 
         for arrive, receiver, sender, packet, attempt in deliveries:
             channel.deliver_remote(arrive, receiver, sender, packet, attempt)
         sim.run(until=grant, inclusive=False)
+        window_no += 1
         flips = []
         routes = []
         for i in watch:
@@ -426,6 +514,13 @@ def _worker_loop(conn, workload: ShardWorkload, shard_id: int, plan: ShardPlan) 
             if seq != route_now[i]:
                 route_now[i] = seq
                 routes.append((i, int(store.next_hop[i]), seq))
+        if chaos is not None:
+            # State advanced, barrier unreported — the most adversarial
+            # crash point (see HarnessChaos).
+            if chaos.kill_shard == shard_id and window_no == chaos.kill_window:
+                os.kill(os.getpid(), signal.SIGKILL)
+            if chaos.delay_shard == shard_id and window_no == chaos.delay_window:
+                time.sleep(chaos.delay_s)
         conn.send(
             ("window", sim.next_event_time, channel.take_shard_exports(), flips, routes)
         )
@@ -440,7 +535,7 @@ def _worker_loop(conn, workload: ShardWorkload, shard_id: int, plan: ShardPlan) 
             world.metrics,
             (tx.tolist(), rx.tolist()),
             sim.events_processed,
-            time.perf_counter() - t0,
+            wall_base + (time.perf_counter() - t0),
             rng_states,
         )
     )
@@ -456,11 +551,35 @@ def _mp_context():
         return multiprocessing.get_context("spawn")
 
 
-def _recv(conn):
-    msg = conn.recv()
-    if msg[0] == "error":
-        raise SimulationError("shard worker failed:\n" + msg[1])
-    return msg
+def _resolve_checkpoint(
+    workload: ShardWorkload, checkpoint, resume_from
+) -> Optional[CheckpointConfig]:
+    """Checkpointing for this run: explicit arg > WorldConfig > resume path.
+
+    A bare path string is promoted to a :class:`CheckpointConfig` with
+    the world's cadence; ``resume_from`` alone implies its own base dir
+    as the store (so the resumed run keeps checkpointing into the same
+    tree it is restoring from).
+    """
+    if isinstance(checkpoint, CheckpointConfig):
+        return checkpoint
+    if isinstance(checkpoint, (str, Path)):
+        return CheckpointConfig(
+            dir=str(checkpoint), every=workload.world.checkpoint_every
+        )
+    if checkpoint is not None:
+        raise ConfigurationError(
+            f"checkpoint must be a CheckpointConfig, a directory path or None, "
+            f"got {checkpoint!r}"
+        )
+    cfg = workload.world
+    if cfg.checkpoint_dir is not None:
+        return CheckpointConfig(dir=cfg.checkpoint_dir, every=cfg.checkpoint_every)
+    if resume_from is not None:
+        return CheckpointConfig(
+            dir=str(base_dir_for(resume_from)), every=cfg.checkpoint_every
+        )
+    return None
 
 
 def _run_single(workload: ShardWorkload) -> ShardRunResult:
@@ -495,60 +614,61 @@ def _run_single(workload: ShardWorkload) -> ShardRunResult:
     )
 
 
-def run_sharded(
+def _coordinate(
     workload: ShardWorkload,
-    shards: Optional[int] = None,
-    trace_path: Optional[str] = None,
-    max_windows: Optional[int] = None,
-) -> ShardRunResult:
-    """Execute ``workload`` across ``shards`` worker processes.
+    shards: int,
+    plan: ShardPlan,
+    positions: np.ndarray,
+    supervision: SupervisionConfig,
+    store: Optional[CheckpointStore],
+    resume_point,
+    chaos: Optional[HarnessChaos],
+    max_windows: Optional[int],
+    stats: dict,
+):
+    """Drive one gang generation barrier-to-barrier; return the payloads.
 
-    ``shards`` defaults to ``workload.world.shards``; ``1`` runs the
-    plain single-process path (same digest, same cache identity).  Under
-    audit mode the merged ledger is strictly audited at the end — a
-    violation raises :class:`~repro.exceptions.ConservationError`, the
-    same contract the single-process idle hook enforces at quiescence.
-    ``max_windows`` guards against livelock in the window protocol
-    (default: one million barriers).  ``trace_path`` writes a JSON cell
-    record at the path plus one fragment per shard
-    (``<stem>.shardNN<suffix>``).
+    Spawns the workers (from scratch or from ``resume_point``), runs the
+    window protocol with supervised sends/receives, checkpoints at the
+    configured cadence, and *always* tears the gang down — a worker
+    failure propagates as :class:`~repro.exceptions.ShardWorkerError`
+    with no process or pipe left behind for the caller's restart loop.
     """
-    if shards is None:
-        shards = workload.world.shards
-    _validate(workload, shards)
-    if shards == 1:
-        result = _run_single(workload)
-        if trace_path is not None:
-            _write_trace(trace_path, result)
-        return result
-
-    t0 = time.perf_counter()
-    positions = workload.positions
-    plan = ShardPlan.build(positions, workload.comm_range, shards)
     owners = plan.owner_of(positions)
     xs = positions[:, 0]
     lookahead = conservative_lookahead(workload.radio)
     limit = 1_000_000 if max_windows is None else max_windows
 
-    ctx = _mp_context()
-    pipes, procs = [], []
+    gang = WorkerGang(_mp_context(), supervision)
     try:
         for s in range(shards):
-            parent, child = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_main, args=(child, workload, s, plan), daemon=True
+            shard_file = (
+                str(resume_point.path / f"shard-{s:02d}.pkl")
+                if resume_point is not None
+                else None
             )
-            proc.start()
-            child.close()
-            pipes.append(parent)
-            procs.append(proc)
+            gang.spawn(_worker_main, (workload, s, plan, chaos, shard_file))
 
-        nexts = [_recv(conn)[1] for conn in pipes]
-        pending: list[list] = [[] for _ in range(shards)]
-        pending_alive: list[list] = [[] for _ in range(shards)]
-        pending_routes: list[list] = [[] for _ in range(shards)]
-        in_flight: list[float] = []
-        windows = 0
+        nexts = [gang.recv(s, "ready")[1] for s in range(shards)]
+        if resume_point is not None:
+            coord = resume_point.coordinator_state()
+            if nexts != coord["nexts"]:
+                raise CheckpointError(
+                    f"resumed workers report next-event times {nexts} but the "
+                    f"checkpoint froze {coord['nexts']} — snapshot and workload "
+                    "disagree"
+                )
+            pending = coord["pending"]
+            pending_alive = coord["pending_alive"]
+            pending_routes = coord["pending_routes"]
+            in_flight = coord["in_flight"]
+            windows = int(coord["windows"])
+        else:
+            pending = [[] for _ in range(shards)]
+            pending_alive = [[] for _ in range(shards)]
+            pending_routes = [[] for _ in range(shards)]
+            in_flight = []
+            windows = 0
         while True:
             horizon = math.inf
             for t in nexts:
@@ -565,16 +685,18 @@ def run_sharded(
                     f"sharded run exceeded {limit} windows at t={horizon} — livelock?"
                 )
             grant = horizon + lookahead
-            for s, conn in enumerate(pipes):
-                conn.send(
-                    ("advance", grant, pending[s], pending_alive[s], pending_routes[s])
+            for s in range(shards):
+                gang.send(
+                    s,
+                    ("advance", grant, pending[s], pending_alive[s], pending_routes[s]),
+                    phase="advance",
                 )
             pending = [[] for _ in range(shards)]
             pending_alive = [[] for _ in range(shards)]
             pending_routes = [[] for _ in range(shards)]
             in_flight = []
-            for s, conn in enumerate(pipes):
-                msg = _recv(conn)
+            for s in range(shards):
+                msg = gang.recv(s, "window")
                 nexts[s] = msg[1]
                 for exp in msg[2]:
                     pending[int(owners[exp[1]])].append(exp)
@@ -596,17 +718,137 @@ def run_sharded(
             for lst in pending_routes:
                 lst.sort()
 
-        for conn in pipes:
-            conn.send(("finish",))
-        payloads = [_recv(conn) for conn in pipes]
-        for proc in procs:
-            proc.join(timeout=60)
+            if store is not None and windows % store.config.every == 0:
+                # Global quiescence: every worker drained its grant, all
+                # cross-shard traffic is in the pending lists above.
+                store.begin(windows)
+                for s in range(shards):
+                    gang.send(
+                        s,
+                        ("checkpoint", str(store.shard_path(windows, s))),
+                        phase="checkpoint",
+                    )
+                for s in range(shards):
+                    gang.recv(s, "saved")
+                store.commit(
+                    windows,
+                    {
+                        "windows": windows,
+                        "nexts": list(nexts),
+                        "pending": pending,
+                        "pending_alive": pending_alive,
+                        "pending_routes": pending_routes,
+                        "in_flight": list(in_flight),
+                    },
+                )
+                stats["checkpoints"] += 1
+
+        for s in range(shards):
+            gang.send(s, ("finish",), phase="finish")
+        payloads = [gang.recv(s, "done") for s in range(shards)]
     finally:
-        for proc in procs:
-            if proc.is_alive():  # pragma: no cover - crash cleanup
-                proc.terminate()
-        for conn in pipes:
-            conn.close()
+        gang.shutdown()
+    return payloads, windows
+
+
+def run_sharded(
+    workload: ShardWorkload,
+    shards: Optional[int] = None,
+    trace_path: Optional[str] = None,
+    max_windows: Optional[int] = None,
+    supervision: Optional[SupervisionConfig] = None,
+    checkpoint=None,
+    resume_from: Optional[str] = None,
+    chaos: Optional[HarnessChaos] = None,
+) -> ShardRunResult:
+    """Execute ``workload`` across ``shards`` worker processes.
+
+    ``shards`` defaults to ``workload.world.shards``; ``1`` runs the
+    plain single-process path (same digest, same cache identity).  Under
+    audit mode the merged ledger is strictly audited at the end — a
+    violation raises :class:`~repro.exceptions.ConservationError`, the
+    same contract the single-process idle hook enforces at quiescence.
+    ``max_windows`` guards against livelock in the window protocol
+    (default: one million barriers).  ``trace_path`` writes a JSON cell
+    record at the path plus one fragment per shard
+    (``<stem>.shardNN<suffix>``).
+
+    Fault tolerance (multi-shard only):
+
+    ``supervision``
+        :class:`~repro.shard.supervise.SupervisionConfig` — per-window
+        deadline, restart budget, backoff.  Defaults apply when omitted.
+    ``checkpoint``
+        A :class:`~repro.shard.checkpoint.CheckpointConfig` or a bare
+        directory path; falls back to the workload's
+        ``world.checkpoint_dir`` / ``checkpoint_every``.  When set, the
+        gang snapshots at barrier every ``every`` windows and retryable
+        worker failures (death, deadline) respawn from the last
+        committed checkpoint — remote Python exceptions re-raise
+        immediately (deterministic; a retry would replay them).
+    ``resume_from``
+        Path to a checkpoint tree (base dir, run dir or window dir) to
+        cold-start from; the resumed run is bit-identical to the
+        uninterrupted one.
+    ``chaos``
+        Test-only :class:`~repro.shard.supervise.HarnessChaos`, armed on
+        the first gang generation only.
+    """
+    if shards is None:
+        shards = workload.world.shards
+    _validate(workload, shards)
+    supervision = supervision or SupervisionConfig()
+    ckpt_cfg = _resolve_checkpoint(workload, checkpoint, resume_from)
+    if shards == 1:
+        if resume_from is not None or chaos is not None:
+            raise ConfigurationError(
+                "resume_from and chaos require a sharded execution (shards > 1); "
+                "the single-process leg has no worker gang to supervise"
+            )
+        result = _run_single(workload)
+        if trace_path is not None:
+            _write_trace(trace_path, result)
+        return result
+
+    t0 = time.perf_counter()
+    positions = workload.positions
+    plan = ShardPlan.build(positions, workload.comm_range, shards)
+    store = (
+        CheckpointStore(ckpt_cfg, workload_key(workload, shards), shards)
+        if ckpt_cfg is not None
+        else None
+    )
+    resume_point = None
+    if resume_from is not None:
+        resume_point = store.locate(resume_from)
+    resumed_window = resume_point.window if resume_point is not None else None
+
+    stats = {"checkpoints": 0}
+    restarts = 0
+    attempt_chaos = chaos
+    while True:
+        try:
+            payloads, windows = _coordinate(
+                workload, shards, plan, positions, supervision, store,
+                resume_point, attempt_chaos, max_windows, stats,
+            )
+            break
+        except ShardWorkerError as exc:
+            retryable = (
+                exc.retryable
+                and store is not None
+                and restarts < supervision.max_restarts
+            )
+            if not retryable:
+                raise
+            restarts += 1
+            attempt_chaos = None
+            time.sleep(supervision.backoff_s(restarts - 1))
+            # Latest committed checkpoint, if any was reached; None
+            # restarts the computation from scratch.
+            resume_point = store.latest()
+            if resume_point is not None:
+                resumed_window = resume_point.window
 
     collectors = [p[1] for p in payloads]
     tx = np.sum([np.asarray(p[2][0], dtype=np.int64) for p in payloads], axis=0)
@@ -633,6 +875,9 @@ def run_sharded(
             for s, p in enumerate(payloads)
         ],
         rng_states=dict(sorted(rng_states.items())),
+        restarts=restarts,
+        checkpoints=stats["checkpoints"],
+        resumed_window=resumed_window,
     )
     if trace_path is not None:
         _write_trace(trace_path, result)
@@ -649,6 +894,9 @@ def _cell_record(result: ShardRunResult) -> dict:
         "events_processed": result.events_processed,
         "wall_clock_s": result.wall_clock_s,
         "windows": result.windows,
+        "restarts": result.restarts,
+        "checkpoints": result.checkpoints,
+        "resumed_window": result.resumed_window,
         "summary": result.metrics.summary(),
     }
     if result.conservation is not None:

@@ -112,6 +112,15 @@ class WorldConfig:
         the in-process stack; :func:`repro.shard.run_sharded` and the
         experiments that support sharding are the executors that honor
         it.
+    checkpoint_dir / checkpoint_every:
+        Barrier-checkpointing for sharded executions
+        (:mod:`repro.shard.checkpoint`): when ``checkpoint_dir`` is set,
+        :func:`repro.shard.run_sharded` snapshots the whole gang every
+        ``checkpoint_every`` windows and can respawn crashed workers
+        from the last snapshot — or cold-resume a new invocation via
+        ``resume_from``.  Like ``shards`` these select *how* the world
+        runs (a checkpointed run is bit-identical to an unchekpointed
+        one) and are ignored by the runner's cache key.
     """
 
     vectorized: bool = True
@@ -120,6 +129,8 @@ class WorldConfig:
     audit: Optional[bool] = None
     faults: Optional[Any] = None
     shards: int = 1
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: int = 8
 
     def __post_init__(self) -> None:
         if self.spatial_index not in SPATIAL_INDEXES:
@@ -130,6 +141,18 @@ class WorldConfig:
         if not isinstance(self.shards, int) or isinstance(self.shards, bool) or self.shards < 1:
             raise ConfigurationError(
                 f"shards must be a positive integer, got {self.shards!r}"
+            )
+        if self.checkpoint_dir is not None and not isinstance(self.checkpoint_dir, str):
+            raise ConfigurationError(
+                f"checkpoint_dir must be a path string or None, got {self.checkpoint_dir!r}"
+            )
+        if (
+            not isinstance(self.checkpoint_every, int)
+            or isinstance(self.checkpoint_every, bool)
+            or self.checkpoint_every < 1
+        ):
+            raise ConfigurationError(
+                f"checkpoint_every must be a positive integer, got {self.checkpoint_every!r}"
             )
         if self.faults is not None:
             from repro.faults.plan import FaultPlan  # deferred: faults builds worlds

@@ -10,6 +10,7 @@ import json
 import os
 import subprocess
 import sys
+import time
 
 import pytest
 
@@ -242,3 +243,81 @@ class TestCli:
     def test_cli_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):
             cli_main(["--experiment", "not-a-thing"])
+
+
+class TestCellTimeout:
+    """Per-cell wall-clock budgets: fail the cell, never the sweep."""
+
+    def _sleeper(self, monkeypatch, naps: list, sleep_seeds=()):
+        """Replace the serial path's run_experiment with a stallable one."""
+        import repro.runner.sweep as sweep_mod
+
+        real = run_experiment
+
+        def wrapped(experiment, params=None, seed=0):
+            naps.append(seed)
+            if not sleep_seeds or seed in sleep_seeds:
+                time.sleep(30.0)
+            return real(experiment, params, seed)
+
+        monkeypatch.setattr(sweep_mod, "run_experiment", wrapped)
+
+    def test_overrunning_cell_fails_without_wedging(self, monkeypatch, tmp_path):
+        naps = []
+        self._sleeper(monkeypatch, naps)
+        spec = ExperimentSpec("fig2", seeds="0", timeout_s=0.2)
+        trace = tmp_path / "t.jsonl"
+        t0 = time.monotonic()
+        sweep = SweepRunner(workers=1, trace_path=str(trace)).run(spec)
+        assert time.monotonic() - t0 < 30.0  # the 30 s nap was cut short
+        (outcome,) = sweep.cells
+        assert outcome.failed is True
+        assert outcome.result is None
+        assert "wall-clock budget" in outcome.error
+        assert sweep.stats.failed == 1
+        # The JSONL trace carries the failure for post-mortems.
+        rec = json.loads(trace.read_text().splitlines()[0])
+        assert rec["failed"] is True and "budget" in rec["error"]
+
+    def test_failed_cell_is_never_cached(self, monkeypatch, tmp_path):
+        naps = []
+        self._sleeper(monkeypatch, naps)
+        cache = ResultCache(str(tmp_path / "cache"))
+        spec = ExperimentSpec("fig2", seeds="0", timeout_s=0.2)
+        for _ in range(2):
+            sweep = SweepRunner(workers=1, cache=cache).run(spec)
+            assert sweep.cells[0].failed
+        assert naps == [0, 0]  # simulated twice: no poisoned cache entry
+        assert sweep.stats.cache_hits == 0
+
+    def test_aggregate_skips_failed_cells(self, monkeypatch):
+        naps = []
+        self._sleeper(monkeypatch, naps, sleep_seeds={1})
+        spec = ExperimentSpec("fig2", seeds="0..1", timeout_s=1.0)
+        sweep = SweepRunner(workers=1).run(spec)
+        assert [c.failed for c in sweep.cells] == [False, True]
+        assert sweep.stats.failed == 1
+        (metrics,) = sweep.aggregate().values()
+        assert metrics  # the surviving seed still aggregates...
+        assert all(s["n"] == 1 for s in metrics.values())  # ...alone
+
+    def test_spec_rejects_bad_timeout(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentSpec("fig2", seeds="0", timeout_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ExperimentSpec("fig2", seeds="0", timeout_s=-2)
+
+    def test_cli_wires_timeout_through(self, monkeypatch, tmp_path, capsys):
+        naps = []
+        self._sleeper(monkeypatch, naps)
+        rc = cli_main(
+            [
+                "--experiment", "fig2", "--seeds", "0", "--workers", "1",
+                "--timeout", "0.2", "--no-cache", "--tables",
+                "--cache-dir", str(tmp_path),
+            ]
+        )
+        assert rc == 0  # a failed cell is reported, not a crash
+        captured = capsys.readouterr()
+        assert "failed=1" in captured.out
+        assert "FAILED after" in captured.err
